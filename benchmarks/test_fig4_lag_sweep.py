@@ -1,0 +1,18 @@
+"""Figure 4 — fit error at location 10 for tuned vs oversized lag."""
+
+from benchmarks.conftest import emit
+from repro.experiments import fig4
+
+
+def test_fig4(benchmark):
+    table = benchmark.pedantic(fig4, rounds=1, iterations=1)
+    emit(table)
+    tuned = table.rows[0]
+    oversized = table.rows[1]
+    # The tuned lag beats the oversized one at every training fraction
+    # (the paper's lag-50 vs lag-100 contrast).
+    for a, b in zip(tuned[1:], oversized[1:]):
+        assert a < b
+    # And errors shrink as the training window grows, for both lags.
+    assert tuned[3] <= tuned[1]
+    assert oversized[3] <= oversized[1]

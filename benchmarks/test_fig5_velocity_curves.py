@@ -1,0 +1,22 @@
+"""Figure 5 — velocity distribution over iterations at locations 1-10."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import fig5, lulesh_reference
+
+
+def test_fig5(benchmark):
+    table = benchmark.pedantic(fig5, rounds=1, iterations=1)
+    ref = lulesh_reference(30)
+    peaks = np.max(ref.history, axis=0)
+    print()
+    print("Fig. 5 peak |velocity| by location (1..10):",
+          np.round(peaks[1:11], 3).tolist())
+    # Wave attenuation: the peak decays monotonically outward over the
+    # plotted locations, with a severe early drop (paper's key feature).
+    assert all(peaks[i] > peaks[i + 1] for i in range(1, 10))
+    assert peaks[1] > 5 * peaks[5]
+    # The long-format data covers every plotted location.
+    locations = set(table.column("location"))
+    assert locations == set(range(1, 11))

@@ -1,0 +1,27 @@
+"""Figure 8 — normalised diagnostics with inflection markers."""
+
+import numpy as np
+
+from benchmarks.conftest import emit
+from repro.experiments import fig8, wdmerger_reference
+
+
+def test_fig8(benchmark):
+    table = benchmark.pedantic(fig8, rounds=1, iterations=1)
+    print()
+    print(table.title)
+    print(table.notes)
+    ref = wdmerger_reference(32)
+    detonation = ref.detonation_time
+    # All four inflection times cluster around the detonation event
+    # (the paper's "collection of inflection points closely aligned to
+    # the delay-time of 30").
+    for part in table.notes.split(": ")[1].split(", "):
+        name, value = part.split("=")
+        assert abs(float(value) - detonation) < 0.15 * detonation, name
+    # Normalised series are zero-mean unit-variance.
+    for name in ("temperature", "mass"):
+        # Cells are rounded to 4 decimals, so allow that much slack.
+        column = np.array(table.column(name))
+        assert abs(column.mean()) < 1e-3
+        assert abs(column.std() - 1.0) < 1e-2

@@ -1,0 +1,23 @@
+"""Table II — break-point radius: feature extraction vs ground truth."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table2
+
+
+def test_table2(benchmark):
+    table = benchmark.pedantic(table2, rounds=1, iterations=1)
+    emit(table)
+    thresholds = table.column("Threshold(%)")
+    truth = table.column("From Sim.")
+    extracted = table.column("Feat. Extraction")
+    rows = dict(zip(thresholds, zip(truth, extracted)))
+    # Low thresholds saturate at the domain edge (the paper's -16.67% rows).
+    assert rows[0.1][1] == 30
+    assert rows[0.2][1] == 30
+    # High thresholds match the simulation exactly (paper: 5-20% rows).
+    assert rows[10.0][0] == rows[10.0][1]
+    assert rows[20.0][0] == rows[20.0][1]
+    # Mid thresholds are within a couple of elements.
+    assert abs(rows[5.0][0] - rows[5.0][1]) <= 3
+    # Ground truth radius shrinks monotonically with the threshold.
+    assert truth == sorted(truth, reverse=True)

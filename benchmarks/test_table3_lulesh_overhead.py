@@ -1,0 +1,30 @@
+"""Table III — LULESH execution time and feature-extraction overhead."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table3
+
+
+def test_table3(benchmark, full_grid):
+    sizes = (30, 60, 90) if full_grid else (30, 60)
+    table = benchmark.pedantic(
+        table3, kwargs={"sizes": sizes}, rounds=1, iterations=1
+    )
+    emit(table)
+    overheads = table.column("overhead(%)")
+    rows = list(zip(table.column("Size"), overheads))
+    # On realistically-sized problems the paper's low-single-digit
+    # overhead band holds.  The smallest domain (30^3) runs in well
+    # under a second on this substrate, so the fixed Python-side FE
+    # cost is proportionally visible there (see EXPERIMENTS.md).
+    largest = f"{max(sizes)}^3"
+    bound = 10.0 if max(sizes) >= 90 else 25.0
+    assert max(o for s, o in rows if s == largest) < bound
+    assert max(overheads) < 60.0
+    # Larger problems get cheaper per rank: the 27-rank rows are faster
+    # than the 1-rank rows for every size.
+    origins = table.column("origin(s)")
+    per_config = len(sizes)
+    one_rank = origins[:per_config]
+    many_rank = origins[-per_config:]
+    for serial, parallel in zip(one_rank, many_rank):
+        assert parallel < serial

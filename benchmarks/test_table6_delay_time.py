@@ -1,0 +1,18 @@
+"""Table VI — detonation delay-time: extraction vs ground truth."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table6, wdmerger_reference
+
+
+def test_table6(benchmark):
+    table = benchmark.pedantic(table6, rounds=1, iterations=1)
+    emit(table)
+    truth = table.column("From Sim.")
+    extracted = table.column("Feat. Extraction")
+    detonation = wdmerger_reference(32).detonation_time
+    for t, e in zip(truth, extracted):
+        # Every diagnostic's delay-time lands within the paper's error
+        # band (-6.56% .. +4.75%, widened slightly).
+        assert abs(e - t) / t < 0.08
+        # And both sit near the simulation's actual detonation event.
+        assert abs(t - detonation) < 0.15 * detonation

@@ -1,0 +1,39 @@
+"""Table VII — wdmerger overhead and early-termination acceleration."""
+
+from benchmarks.conftest import emit
+from repro.experiments import table7
+
+
+def test_table7(benchmark, full_grid):
+    resolutions = (16, 32, 48) if full_grid else (16, 32)
+    table = benchmark.pedantic(
+        table7, kwargs={"resolutions": resolutions}, rounds=1, iterations=1
+    )
+    emit(table)
+    rows = [dict(zip(table.headers, row)) for row in table.rows]
+    by_res = {}
+    for row in rows:
+        by_res.setdefault(row["Resolution"], []).append(row)
+    # At 32^3 and up the paper's low-overhead band holds.  Sub-second
+    # measured runs carry scheduler noise, so the bound tightens only
+    # on the multi-second 48^3 runs of the full grid.
+    for res, res_rows in by_res.items():
+        if res == "16^3":
+            # Substrate-scale artifact (see EXPERIMENTS.md): our 16^3
+            # per-step cost is tiny, so the fixed FE cost is visible.
+            continue
+        bound = 12.0 if res == "48^3" else 25.0
+        assert max(r["Ovh(%)"] for r in res_rows) < bound
+    # Early termination delivers substantial acceleration at realistic
+    # resolutions (paper: 48% -> 67% growing with resolution).  The
+    # sub-millisecond 16^3 runs are too noisy for a tight bound.
+    mean_acc = {
+        res: sum(r["Acc(%)"] for r in res_rows) / len(res_rows)
+        for res, res_rows in by_res.items()
+    }
+    for res, acc in mean_acc.items():
+        if res != "16^3":
+            assert acc > 30.0, (res, acc)
+    largest = f"{max(resolutions)}^3"
+    smallest = f"{min(resolutions)}^3"
+    assert mean_acc[largest] >= mean_acc[smallest] - 5.0

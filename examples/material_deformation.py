@@ -1,0 +1,74 @@
+"""Material deformation analysis on the LULESH mini-app (paper Case 1).
+
+Extracts the material break-point radius for a range of velocity
+thresholds with the in-situ auto-regression method, terminating the
+simulation early once the model has converged and the feature is
+confirmed, then compares against the full-simulation ground truth.
+
+Run:  python examples/material_deformation.py [size]
+"""
+
+import sys
+
+from repro.core.params import IterParam
+from repro.core.region import Region
+from repro.lulesh import LuleshSimulation
+from repro.lulesh.insitu import BreakPointAnalysis
+
+
+def ground_truth(size):
+    """Full run recording every node — the post-analysis baseline."""
+    sim = LuleshSimulation(
+        size, maintain_field=False, record_locations=list(range(size + 1))
+    )
+    result = sim.run()
+    return sim, result
+
+
+def extract_break_point(size, threshold, total_iterations):
+    """In-situ extraction with early termination."""
+    sim = LuleshSimulation(size, maintain_field=False)
+    region = Region("lulesh", sim.domain)
+    analysis = BreakPointAnalysis(
+        lambda domain, loc: domain.xd(loc),
+        IterParam(1, 10, 1),
+        IterParam(50, int(0.4 * total_iterations), 1),
+        threshold=threshold,
+        max_location=size,
+        lag=10,
+        order=3,
+        terminate_when_trained=True,
+    )
+    region.add_analysis(analysis)
+    result = sim.run(region)
+    return analysis.final_feature(), result
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    print(f"domain size {size}^3 — running ground-truth simulation ...")
+    truth_sim, truth_run = ground_truth(size)
+    peaks = truth_sim.peak_velocity_profile()
+    v0 = truth_sim.blast_velocity
+    print(f"full run: {truth_run.iterations} iterations, blast velocity {v0:.2f}")
+    print()
+    header = f"{'threshold':>10} {'truth':>6} {'extracted':>10} {'stopped at':>11}"
+    print(header)
+    print("-" * len(header))
+    for threshold in (0.002, 0.01, 0.05, 0.1, 0.2):
+        cut = threshold * v0
+        above = [i for i in range(1, size + 1) if peaks[i] >= cut]
+        truth_radius = max(above) if above else 0
+        feature, run = extract_break_point(size, threshold, truth_run.iterations)
+        share = 100.0 * run.iterations / truth_run.iterations
+        print(
+            f"{100 * threshold:>9.1f}% {truth_radius:>6} "
+            f"{feature.radius:>10} {share:>10.1f}%"
+        )
+    print()
+    print("low thresholds saturate at the domain edge; high thresholds")
+    print("match the simulation exactly (paper Table II's shape).")
+
+
+if __name__ == "__main__":
+    main()

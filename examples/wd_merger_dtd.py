@@ -1,0 +1,82 @@
+"""White dwarf merger detonation delay-time extraction (paper Case 2).
+
+Runs the wdmerger simulator, extracts the four diagnostic curves in
+situ, derives a delay time per diagnostic from the tracked inflection
+points, and assembles a small delay-time distribution (DTD) over a set
+of binary configurations — the downstream science use the paper's
+Section V motivates.
+
+Run:  python examples/wd_merger_dtd.py
+"""
+
+import numpy as np
+
+from repro.core.params import IterParam
+from repro.core.region import Region
+from repro.wdmerger import (
+    DIAGNOSTIC_NAMES,
+    WdMergerSimulation,
+    delay_time_features,
+)
+from repro.wdmerger.insitu import DetonationAnalysis
+
+
+def delay_times_for(resolution=16, **binary_kwargs):
+    """One merger's in-situ delay time (temperature diagnostic)."""
+    sim = WdMergerSimulation(
+        resolution, maintain_grid=False, **binary_kwargs
+    )
+    total = int(sim.end_time / sim.dt)
+    region = Region("wdmerger", sim)
+    analysis = DetonationAnalysis(
+        IterParam(0, 0, 1),
+        IterParam(1, total, 1),
+        variable="temperature",
+        dt=sim.dt,
+        order=3,
+        batch_size=4,
+        learning_rate=0.03,
+        min_updates=3,
+        monitor_window=3,
+        monitor_patience=1,
+        terminate_when_trained=True,
+    )
+    region.add_analysis(analysis)
+    sim.run(region)
+    feature = analysis.delay_feature
+    saved = 100.0 * (1.0 - sim.time / sim.end_time)
+    return feature, sim.events, saved
+
+
+def main():
+    print("single merger, all four diagnostics (resolution 32):")
+    sim = WdMergerSimulation(32)
+    sim.run()
+    features = delay_time_features(sim.history.times, sim.history.all_series())
+    print(f"  simulation detonation event at t = {sim.events.detonation_time}")
+    for name in DIAGNOSTIC_NAMES:
+        print(f"  {name:<18} delay time {features[name].delay_time:7.3f}")
+    print()
+    print("delay-time distribution over binary configurations (in situ,")
+    print("early-terminated runs):")
+    configurations = [
+        {"initial_separation": a0} for a0 in (2.55, 2.60, 2.65, 2.70)
+    ]
+    delays = []
+    for config in configurations:
+        feature, events, saved = delay_times_for(**config)
+        delay = feature.delay_time if feature else float("nan")
+        delays.append(delay)
+        print(
+            f"  a0={config['initial_separation']:.2f}: "
+            f"delay {delay:7.2f}  (event {events.detonation_time}, "
+            f"{saved:.0f}% of run saved)"
+        )
+    finite = [d for d in delays if np.isfinite(d)]
+    print()
+    print(f"DTD summary: {len(finite)} detonations, "
+          f"median delay {np.median(finite):.1f} time units")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""repro — real-time auto-regression based in-situ feature extraction.
+
+Reproduction of "A Real-Time, Auto-Regression Method for In-Situ Feature
+Extraction in Hydrodynamics Simulations" (ISPASS 2025).
+
+The package is organised as:
+
+``repro.core``
+    The paper's primary contribution: a streaming linear auto-regressive
+    model trained with mini-batch gradient descent during a simulation,
+    plus data collection, curve fitting, variable tracking,
+    threshold-based feature extraction and early termination, exposed
+    through both a Pythonic object API (:class:`repro.core.Region`) and
+    the paper's C-style ``td_*`` facade (:mod:`repro.core.capi`).
+
+``repro.lulesh``
+    A LULESH-like Sedov blast hydrodynamics mini-app (Lagrangian,
+    leapfrog, artificial viscosity) used for the material deformation
+    case study.
+
+``repro.wdmerger``
+    A Castro-wdmerger-like binary white dwarf merger simulator used for
+    the detonation delay-time case study.
+
+``repro.parallel``
+    A simulated MPI communicator and cost model used to measure the
+    broadcast overhead the paper reports.
+
+``repro.analysis``
+    Accuracy metrics and the traditional post-analysis baseline with an
+    I/O cost model.
+
+``repro.experiments``
+    Drivers that regenerate every table and figure in the paper's
+    evaluation section (see DESIGN.md for the index).
+"""
+
+from repro.core import (
+    ARModel,
+    Analysis,
+    BreakPointFeature,
+    CurveFitting,
+    DelayTimeFeature,
+    EarlyStopMonitor,
+    IterParam,
+    MiniBatch,
+    MiniBatchTrainer,
+    Region,
+    ThresholdDetector,
+    VariableTracker,
+)
+from repro.core.capi import (
+    Curve_Fitting,
+    td_iter_param_init,
+    td_region_add_analysis,
+    td_region_begin,
+    td_region_end,
+    td_region_init,
+)
+from repro.errors import (
+    CollectionError,
+    ConfigurationError,
+    NotTrainedError,
+    ReproError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ARModel",
+    "Analysis",
+    "BreakPointFeature",
+    "CollectionError",
+    "ConfigurationError",
+    "CurveFitting",
+    "Curve_Fitting",
+    "DelayTimeFeature",
+    "EarlyStopMonitor",
+    "IterParam",
+    "MiniBatch",
+    "MiniBatchTrainer",
+    "NotTrainedError",
+    "Region",
+    "ReproError",
+    "ThresholdDetector",
+    "VariableTracker",
+    "td_iter_param_init",
+    "td_region_add_analysis",
+    "td_region_begin",
+    "td_region_end",
+    "td_region_init",
+    "__version__",
+]

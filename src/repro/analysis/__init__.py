@@ -1,0 +1,21 @@
+"""Accuracy metrics and the traditional post-analysis baseline."""
+
+from repro.analysis.accuracy import (
+    accuracy,
+    error_rate,
+    relative_difference,
+    rmse,
+)
+from repro.analysis.io_model import StorageModel, snapshot_bytes
+from repro.analysis.post_hoc import PostAnalysisCost, PostHocAnalyzer
+
+__all__ = [
+    "PostAnalysisCost",
+    "PostHocAnalyzer",
+    "StorageModel",
+    "accuracy",
+    "error_rate",
+    "relative_difference",
+    "rmse",
+    "snapshot_bytes",
+]

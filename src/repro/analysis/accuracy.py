@@ -1,0 +1,72 @@
+"""Accuracy metrics used throughout the evaluation.
+
+The paper reports two kinds of numbers:
+
+* **error rate (%)** of curve fitting — predicted vs real curves
+  (Tables I, V); here: mean absolute error normalised by the mean
+  absolute value of the real curve, which is unbounded above and so can
+  express the paper's 267% overfit cell;
+* **difference / relative error (%)** of a derived scalar feature
+  (Tables II, VI) — plain signed relative difference.
+
+``accuracy = 100% - error rate`` is the headline "94.44%-99.60%
+accuracy" phrasing of the abstract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def error_rate(predicted: Sequence[float], real: Sequence[float]) -> float:
+    """Curve-fit error rate in percent (normalised MAE).
+
+    ``100 * mean|pred - real| / mean|real|``.  Returns 0 for an
+    identically zero real curve (nothing to mispredict against).
+    """
+    pred = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(real, dtype=np.float64)
+    if pred.shape != actual.shape:
+        raise ConfigurationError(
+            f"shape mismatch: predicted {pred.shape} vs real {actual.shape}"
+        )
+    if pred.size == 0:
+        raise ConfigurationError("empty series")
+    scale = float(np.mean(np.abs(actual)))
+    if scale == 0.0:
+        return 0.0
+    return 100.0 * float(np.mean(np.abs(pred - actual))) / scale
+
+
+def accuracy(predicted: Sequence[float], real: Sequence[float]) -> float:
+    """Accuracy in percent: ``100 - error_rate``, floored at 0."""
+    return max(0.0, 100.0 - error_rate(predicted, real))
+
+
+def relative_difference(extracted: float, truth: float) -> Tuple[float, float]:
+    """(difference, signed relative error %) of a derived feature.
+
+    Matches Table VI's convention: difference is extracted minus truth,
+    percentage relative to the truth.
+    """
+    diff = extracted - truth
+    if truth == 0.0:
+        return diff, float("inf") if diff else 0.0
+    return diff, 100.0 * diff / truth
+
+
+def rmse(predicted: Sequence[float], real: Sequence[float]) -> float:
+    """Root-mean-square error (absolute units)."""
+    pred = np.asarray(predicted, dtype=np.float64)
+    actual = np.asarray(real, dtype=np.float64)
+    if pred.shape != actual.shape:
+        raise ConfigurationError(
+            f"shape mismatch: predicted {pred.shape} vs real {actual.shape}"
+        )
+    if pred.size == 0:
+        raise ConfigurationError("empty series")
+    return float(np.sqrt(np.mean((pred - actual) ** 2)))

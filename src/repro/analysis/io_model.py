@@ -1,0 +1,69 @@
+"""I/O cost model for the traditional post-analysis baseline.
+
+Post-analysis writes the full evolving dataset to storage during the
+run and reads it back for offline processing.  The paper motivates
+in-situ extraction by exactly this cost ("large-scale simulations can
+generate between 200 and 300 PB/s in memory"), so the baseline
+comparison needs a storage model: a simple bandwidth + per-operation
+latency account, defaulting to NVMe-class numbers matching the paper's
+testbed (Intel P4610).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StorageModel:
+    """Sequential-I/O cost model.
+
+    Parameters
+    ----------
+    write_bandwidth, read_bandwidth:
+        Sustained bandwidths in bytes/second (defaults ~NVMe).
+    op_latency:
+        Per-operation setup latency in seconds (syscall + queue).
+    """
+
+    write_bandwidth: float = 2.0e9
+    read_bandwidth: float = 3.0e9
+    op_latency: float = 50.0e-6
+
+    def __post_init__(self) -> None:
+        if self.write_bandwidth <= 0 or self.read_bandwidth <= 0:
+            raise ConfigurationError("bandwidths must be positive")
+        if self.op_latency < 0:
+            raise ConfigurationError(
+                f"op_latency must be >= 0, got {self.op_latency}"
+            )
+
+    def write_time(self, n_bytes: int, n_ops: int = 1) -> float:
+        """Seconds to write ``n_bytes`` across ``n_ops`` operations."""
+        self._check(n_bytes, n_ops)
+        return n_ops * self.op_latency + n_bytes / self.write_bandwidth
+
+    def read_time(self, n_bytes: int, n_ops: int = 1) -> float:
+        """Seconds to read ``n_bytes`` across ``n_ops`` operations."""
+        self._check(n_bytes, n_ops)
+        return n_ops * self.op_latency + n_bytes / self.read_bandwidth
+
+    @staticmethod
+    def _check(n_bytes: int, n_ops: int) -> None:
+        if n_bytes < 0:
+            raise ConfigurationError(f"n_bytes must be >= 0, got {n_bytes}")
+        if n_ops <= 0:
+            raise ConfigurationError(f"n_ops must be positive, got {n_ops}")
+
+
+def snapshot_bytes(n_elements: int, n_fields: int, *, dtype_bytes: int = 8) -> int:
+    """Size of one simulation snapshot on disk."""
+    if n_elements <= 0 or n_fields <= 0:
+        raise ConfigurationError("n_elements and n_fields must be positive")
+    if dtype_bytes <= 0:
+        raise ConfigurationError(
+            f"dtype_bytes must be positive, got {dtype_bytes}"
+        )
+    return n_elements * n_fields * dtype_bytes

@@ -1,0 +1,93 @@
+"""C-style ``td_*`` facade reproducing the paper's published API.
+
+The paper (Section III-C, Figure 2) exposes six functions.  This module
+reproduces them one-to-one over the object API so the LULESH listing
+from the paper ports to Python almost line for line:
+
+===========================  ==========================================
+paper                        here
+===========================  ==========================================
+``td_region_init``           :func:`td_region_init`
+``td_var_provider``          any ``f(domain, location) -> float``
+``td_iter_param_init``       :func:`td_iter_param_init`
+``td_region_add_analysis``   :func:`td_region_add_analysis`
+``td_region_begin``          :func:`td_region_begin`
+``td_region_end``            :func:`td_region_end`
+===========================  ==========================================
+
+``Curve_Fitting`` is the method selector constant from the paper's
+listing (``int method = Curve_Fitting;``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.params import IterParam
+from repro.core.providers import ProviderFn
+from repro.core.region import Region
+from repro.errors import ConfigurationError
+
+#: Method selector for auto-regressive curve fitting — the only analysis
+#: method the framework currently supports, matching the paper.
+Curve_Fitting = 1
+
+
+def td_region_init(name: str = "", domain: object = None, comm=None) -> Region:
+    """Initialise the analyzer object bound to a simulation domain."""
+    return Region(name, domain, comm)
+
+
+def td_iter_param_init(begin: int, end: int, step: int = 1) -> IterParam:
+    """Initialise a temporal/spatial characteristic as (begin, end, step)."""
+    return IterParam(int(begin), int(end), int(step))
+
+
+def td_region_add_analysis(
+    region: Region,
+    var_provider: ProviderFn,
+    loc_param: IterParam,
+    method: int,
+    iter_param: IterParam,
+    threshold: Optional[float] = None,
+    if_simulation_will_terminate: int = 0,
+    **kwargs,
+) -> CurveFitting:
+    """Construct a data-analysis object from the presets.
+
+    Argument order mirrors the paper's listing: provider, spatial
+    characteristics, method selector, temporal characteristics, then the
+    extra threshold and termination-flag parameters.  ``kwargs`` pass
+    through to :class:`CurveFitting` (model order, learning rate,
+    ``reference_value`` for threshold-based extraction, ...).
+    """
+    if method != Curve_Fitting:
+        raise ConfigurationError(
+            f"unsupported analysis method {method!r}; the framework "
+            f"currently supports Curve_Fitting only"
+        )
+    analysis = CurveFitting(
+        var_provider,
+        loc_param,
+        iter_param,
+        threshold=threshold,
+        terminate_when_trained=bool(if_simulation_will_terminate),
+        **kwargs,
+    )
+    region.add_analysis(analysis)
+    return analysis
+
+
+def td_region_begin(region: Region) -> int:
+    """Mark the start of the instrumented computation block."""
+    return region.begin()
+
+
+def td_region_end(region: Region, domain: object = None) -> int:
+    """Mark the end of the block; returns 1 to continue, 0 to terminate.
+
+    The integer return (rather than a bool) keeps the C flavour of the
+    original API: ``while (td_region_end(r)) { ... }``.
+    """
+    return 1 if region.end(domain) else 0

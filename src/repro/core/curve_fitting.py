@@ -1,0 +1,453 @@
+"""The 'Curve_Fitting' analysis: collection + streaming AR training.
+
+This is the analysis method the paper's framework currently supports
+(Section III-C: "the framework supports threshold-based feature
+extraction, and methods of 'Curve_Fitting' for data analysis").  It
+wires together the data collector, the mini-batch trainer over an
+:class:`~repro.core.ar_model.ARModel`, the early-stop monitor and the
+threshold detector, and exposes the post-collection evaluation used by
+the paper's accuracy tables.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.ar_model import ARModel
+from repro.core.collector import DataCollector
+from repro.core.early_stop import EarlyStopMonitor
+from repro.core.events import (
+    ACTION_CONTINUE,
+    ACTION_TERMINATE,
+    StatusBroadcast,
+)
+from repro.core.features import ExtractionSummary, ThresholdEvent
+from repro.core.minibatch import MiniBatchTrainer
+from repro.core.params import IterParam, as_iter_param
+from repro.core.providers import ProviderFn
+from repro.core.thresholds import ThresholdDetector, peak_profile
+from repro.errors import ConfigurationError, NotTrainedError
+
+
+class Analysis(abc.ABC):
+    """Base class for analyses attachable to a :class:`~repro.core.region.Region`.
+
+    Subclasses implement :meth:`on_iteration`, returning an optional
+    :class:`StatusBroadcast` when there is news worth publishing (a
+    threshold crossing, a convergence event).
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.wants_stop = False
+
+    @abc.abstractmethod
+    def on_iteration(self, domain: object, iteration: int) -> Optional[StatusBroadcast]:
+        """Observe one completed simulation iteration."""
+
+    @abc.abstractmethod
+    def summary(self) -> ExtractionSummary:
+        """Report collection/training statistics after the run."""
+
+
+class CurveFitting(Analysis):
+    """Auto-regressive curve fitting over a declared data window.
+
+    Parameters
+    ----------
+    provider:
+        Variable accessor ``provider(domain, location) -> float``.
+    spatial, temporal:
+        Location and iteration windows (tuples accepted).
+    order:
+        AR model order ``n``.
+    lag:
+        Temporal lag in iterations; defaults to the temporal step.
+    axis:
+        ``"space"`` (LULESH-style profile advance) or ``"time"``
+        (wdmerger-style scalar series).
+    batch_size:
+        Mini-batch capacity.
+    learning_rate, epochs_per_batch, l2, seed:
+        Forwarded to :class:`ARModel`.
+    threshold:
+        Optional relative threshold enabling threshold-based feature
+        events; requires ``reference_value``.
+    reference_value:
+        Scale the relative threshold applies to (e.g. blast velocity).
+    terminate_when_trained:
+        The paper's early-termination flag: request simulation stop
+        once collection completed and the model converged.
+    accuracy_threshold, min_updates:
+        Early-stop monitor configuration.
+    """
+
+    def __init__(
+        self,
+        provider: ProviderFn,
+        spatial,
+        temporal,
+        *,
+        order: int = 3,
+        lag: Optional[int] = None,
+        axis: str = "space",
+        include_self: bool = True,
+        batch_size: int = 16,
+        learning_rate: float = 0.1,
+        epochs_per_batch: int = 16,
+        l2: float = 0.0,
+        seed: int = 0,
+        threshold: Optional[float] = None,
+        reference_value: Optional[float] = None,
+        terminate_when_trained: bool = False,
+        accuracy_threshold: float = 0.01,
+        min_updates: int = 10,
+        monitor_window: int = 5,
+        monitor_patience: int = 2,
+        name: str = "curve_fitting",
+    ) -> None:
+        super().__init__(name)
+        spatial = as_iter_param(spatial)
+        temporal = as_iter_param(temporal)
+        if threshold is not None and reference_value is None:
+            raise ConfigurationError(
+                "threshold-based extraction needs reference_value"
+            )
+        effective_lag = temporal.step if lag is None else lag
+        self.model = ARModel(
+            order,
+            lag=effective_lag,
+            learning_rate=learning_rate,
+            epochs_per_batch=epochs_per_batch,
+            l2=l2,
+            seed=seed,
+        )
+        self.trainer = MiniBatchTrainer(self.model, batch_size, order)
+        self.collector = DataCollector(
+            provider,
+            spatial,
+            temporal,
+            self.trainer,
+            lag=effective_lag,
+            axis=axis,
+            include_self=include_self,
+        )
+        self.include_self = include_self
+        self.monitor = EarlyStopMonitor(
+            accuracy_threshold,
+            min_updates=min_updates,
+            window=monitor_window,
+            patience=monitor_patience,
+        )
+        self.threshold = threshold
+        self.reference_value = reference_value
+        self.terminate_when_trained = terminate_when_trained
+        self.axis = axis
+        self._threshold_events: List[ThresholdEvent] = []
+        self._finalized = False
+        self._converged_at: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # in-situ hook
+    # ------------------------------------------------------------------
+
+    def on_iteration(self, domain: object, iteration: int) -> Optional[StatusBroadcast]:
+        losses = self.collector.observe(domain, iteration)
+        for loss in losses:
+            if self.monitor.observe(loss) and self._converged_at is None:
+                self._converged_at = iteration
+        event: Optional[StatusBroadcast] = None
+        if self.collector.done and not self._finalized:
+            final_loss = self.collector.finalize()
+            if final_loss is not None and self.monitor.observe(final_loss):
+                if self._converged_at is None:
+                    self._converged_at = iteration
+            self._finalized = True
+            event = self._conclude(iteration)
+        if self.threshold is not None and not self._finalized:
+            crossing = self._check_threshold(iteration)
+            if crossing is not None:
+                event = crossing
+        return event
+
+    def _conclude(self, iteration: int) -> StatusBroadcast:
+        """Collection finished: decide termination, build the broadcast."""
+        stop = self.terminate_when_trained and self.monitor.converged
+        self.wants_stop = stop
+        predicted = 0.0
+        if self.model.is_trained and len(self.collector.store):
+            last = self.collector.store.matrix()[-1]
+            if last.size >= self.model.order:
+                predicted = float(
+                    self.model.predict(last[-self.model.order:][::-1])
+                )
+        return StatusBroadcast(
+            iteration=iteration,
+            predicted_value=predicted,
+            wavefront_rank=0,
+            action=ACTION_TERMINATE if stop else ACTION_CONTINUE,
+        )
+
+    def _check_threshold(self, iteration: int) -> Optional[StatusBroadcast]:
+        """Emit an event when the newest collected row crosses threshold."""
+        store = self.collector.store
+        if len(store) == 0 or store.iterations[-1] != iteration:
+            return None
+        cut = self.threshold * self.reference_value
+        row = store.last_row()
+        above = np.abs(row) >= cut
+        if not above.any():
+            return None
+        loc_index = int(np.where(above)[0].max())
+        location = int(store.locations[loc_index])
+        already = any(e.iteration == iteration for e in self._threshold_events)
+        if already:
+            return None
+        event = ThresholdEvent(
+            iteration=iteration,
+            location=location,
+            value=float(row[loc_index]),
+            threshold_value=cut,
+        )
+        self._threshold_events.append(event)
+        return StatusBroadcast(
+            iteration=iteration,
+            predicted_value=float(row[loc_index]),
+            wavefront_rank=0,
+            action=ACTION_CONTINUE,
+        )
+
+    # ------------------------------------------------------------------
+    # post-collection evaluation
+    # ------------------------------------------------------------------
+
+    @property
+    def threshold_events(self) -> List[ThresholdEvent]:
+        return list(self._threshold_events)
+
+    def predicted_vs_real(self, location: Optional[int] = None):
+        """One-step model predictions against collected values.
+
+        For ``axis="time"`` returns ``(iterations, predicted, real)`` at
+        one location (default: the window's first).  For
+        ``axis="space"`` returns the same shapes flattened over every
+        valid (iteration, location) pair at the given location column
+        or all columns when ``location`` is None.
+        """
+        self._require_trained()
+        store = self.collector.store
+        matrix = store.matrix()
+        order = self.model.order
+        if self.axis == "time":
+            loc = int(store.locations[0]) if location is None else location
+            iters, series = store.series(loc)
+            lag_rows = self.model.lag // self.collector.temporal.step
+            start = order - 1 + lag_rows
+            if series.size <= start:
+                raise NotTrainedError("not enough collected data to evaluate")
+            features = np.stack(
+                [
+                    series[i - lag_rows - order + 1: i - lag_rows + 1][::-1]
+                    for i in range(start, series.size)
+                ]
+            )
+            predicted = self.model.predict_many(features)
+            return iters[start:], predicted, series[start:]
+        # axis == "space"
+        lag_rows = self.model.lag // self.collector.temporal.step
+        first = self.collector.first_target_offset
+        rows_pred, rows_real, kept_iters = [], [], []
+        for i in range(lag_rows, matrix.shape[0]):
+            lagged = matrix[i - lag_rows]
+            features = np.stack(
+                [
+                    (
+                        lagged[j - order + 1: j + 1][::-1]
+                        if self.include_self
+                        else lagged[j - order: j][::-1]
+                    )
+                    for j in range(first, matrix.shape[1])
+                ]
+            )
+            rows_pred.append(self.model.predict_many(features))
+            rows_real.append(matrix[i, first:])
+            kept_iters.append(store.iterations[i])
+        if not rows_pred:
+            raise NotTrainedError("not enough collected data to evaluate")
+        predicted = np.stack(rows_pred)
+        real = np.stack(rows_real)
+        if location is not None:
+            cols = store.locations[first:]
+            sel = np.where(cols == location)[0]
+            if sel.size == 0:
+                raise ConfigurationError(
+                    f"location {location} not in evaluable window {cols.tolist()}"
+                )
+            predicted = predicted[:, sel[0]]
+            real = real[:, sel[0]]
+        return np.asarray(kept_iters), predicted, real
+
+    def fit_error(self, location: Optional[int] = None) -> float:
+        """Curve-fit error rate (%) — the metric of Tables I and V.
+
+        Mean absolute prediction error normalised by the mean absolute
+        value of the real curve, in percent.  Unbounded above, so an
+        overfit/diverged fit can report >100% exactly as the paper's
+        267% cell does.
+        """
+        _, predicted, real = self.predicted_vs_real(location)
+        scale = float(np.mean(np.abs(real)))
+        if scale == 0.0:
+            return 0.0
+        return 100.0 * float(np.mean(np.abs(predicted - real))) / scale
+
+    def forecast(self, location: int, steps: int) -> np.ndarray:
+        """Roll the trained model forward in time at one location."""
+        self._require_trained()
+        _, series = self.collector.store.series(location)
+        return self.model.forward_time(series, steps)
+
+    def extrapolate_peak_profile(
+        self, through_location: int, *, profile_order: int = 2
+    ) -> np.ndarray:
+        """Peak-|value| profile extended in space to ``through_location``.
+
+        Takes the per-location peak of the collected window and extends
+        it outward by fitting a dedicated spatial auto-regressive model
+        to the (log of the) profile and rolling it forward — the
+        paper's "replace V(l, t) by V(l+1, t)" applied to the peak
+        curve the break-point detector thresholds (Table II).
+
+        The log transform keeps the extension positive; because the
+        profile's decay ratio flattens with distance, the extension
+        saturates at very small thresholds, which is exactly how the
+        paper's low-threshold rows overshoot to the domain edge.
+        """
+        self._require_trained()
+        store = self.collector.store
+        profile = peak_profile(store.matrix())
+        last = int(store.locations[-1])
+        if through_location <= last:
+            keep = store.locations <= through_location
+            return profile[keep]
+        steps = through_location - last
+        positive = np.maximum(profile, 1e-12)
+        log_profile = np.log(positive)
+        order = min(profile_order, log_profile.size - 1)
+        if order < 1:
+            raise ConfigurationError(
+                "peak profile too short to extrapolate"
+            )
+        features = np.stack(
+            [
+                log_profile[i - order: i][::-1]
+                for i in range(order, log_profile.size)
+            ]
+        )
+        targets = log_profile[order:]
+        spatial_model = ARModel(order, lag=self.model.lag)
+        spatial_model.fit_exact(features, targets)
+        extension = np.exp(spatial_model.forward_space(log_profile, steps))
+        return np.concatenate([profile, extension])
+
+    def break_point(self, threshold: float, max_location: int) -> int:
+        """Break-point radius from the extrapolated peak profile."""
+        if self.reference_value is None:
+            raise ConfigurationError(
+                "break_point needs reference_value (the blast velocity)"
+            )
+        detector = ThresholdDetector(self.reference_value, max_location)
+        profile = self.extrapolate_peak_profile(max_location)
+        first = int(self.collector.store.locations[0])
+        locations = np.arange(first, first + profile.size)
+        return detector.break_point(locations, profile, threshold).radius
+
+    def summary(self) -> ExtractionSummary:
+        return ExtractionSummary(
+            samples_collected=self.collector.samples_emitted,
+            updates=self.trainer.updates,
+            final_loss=self.trainer.last_loss,
+            converged=self.monitor.converged,
+            converged_at_iteration=self._converged_at,
+            features=list(self._threshold_events),
+        )
+
+    def _require_trained(self) -> None:
+        if not self.model.is_trained:
+            raise NotTrainedError(
+                f"analysis {self.name!r} has not completed any training updates"
+            )
+
+
+def evaluate_spatial_history(
+    model,
+    history: np.ndarray,
+    window,
+    *,
+    include_self: bool = True,
+    start_iteration: int = 0,
+):
+    """One-step spatial predictions against a full recorded history.
+
+    This is the paper's accuracy evaluation for the LULESH case (Table
+    I): the model — trained in situ on a *prefix* of the run — predicts
+    every (iteration, location) sample of the **complete** simulation
+    from its real lagged neighbours, and the error rate is computed
+    over all of them.  A model that only ever saw quiet pre-shock data
+    mispredicts the later wave arrival, which is exactly how the
+    paper's 267% overfit cell arises.
+
+    Parameters
+    ----------
+    model:
+        A trained :class:`~repro.core.ar_model.ARModel`.
+    history:
+        Array of shape ``(iterations, locations)`` where the column
+        index is the location id (e.g. the recorded velocity history of
+        :class:`~repro.lulesh.simulation.LuleshSimulation`).
+    window:
+        Spatial window (IterParam or 3-tuple) to evaluate over.
+    include_self:
+        Must match the collector configuration the model was trained
+        with.
+    start_iteration:
+        Skip this many leading iterations (start-up transient).
+
+    Returns
+    -------
+    (predicted, real):
+        Flattened arrays over all evaluated (iteration, location) pairs.
+    """
+    window = as_iter_param(window)
+    arr = np.asarray(history, dtype=np.float64)
+    if arr.ndim != 2:
+        raise ConfigurationError("history must be 2-D (iterations x locations)")
+    order = model.order
+    lag = model.lag
+    first_loc = window.begin + (order - 1 if include_self else order)
+    locations = [
+        loc for loc in range(first_loc, window.end + 1) if loc < arr.shape[1]
+    ]
+    if not locations:
+        raise ConfigurationError(
+            f"window {window} leaves no evaluable locations for order {order}"
+        )
+    preds, reals = [], []
+    for t in range(max(start_iteration, lag), arr.shape[0]):
+        lagged = arr[t - lag]
+        feats = np.stack(
+            [
+                (
+                    lagged[loc - order + 1: loc + 1][::-1]
+                    if include_self
+                    else lagged[loc - order: loc][::-1]
+                )
+                for loc in locations
+            ]
+        )
+        preds.append(model.predict_many(feats))
+        reals.append(arr[t, locations])
+    return np.concatenate(preds), np.concatenate(reals)

@@ -1,0 +1,56 @@
+"""Status events broadcast during in-situ extraction.
+
+The paper's ``td_region_begin``/``td_region_end`` callbacks broadcast
+"values such as the current predicted value, the MPI rank indicating
+the location of the wave front, and a flag indicating the actions taken
+after the feature extraction process concludes".  This module defines
+that payload and a small broadcaster that charges the cost to a
+simulated communicator so the overhead is measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+#: Action flags carried in a status broadcast (paper's
+#: ``if_simulation_will_terminate``-style flag values).
+ACTION_CONTINUE = 0
+ACTION_TERMINATE = 1
+
+
+@dataclass(frozen=True)
+class StatusBroadcast:
+    """One broadcast payload: prediction, wave-front rank, action flag."""
+
+    iteration: int
+    predicted_value: float
+    wavefront_rank: int
+    action: int = ACTION_CONTINUE
+
+
+class StatusBroadcaster:
+    """Publishes :class:`StatusBroadcast` payloads over a communicator.
+
+    The communicator only needs a ``broadcast(payload, root)`` method —
+    :class:`repro.parallel.comm.SimComm` provides one with a latency
+    cost model.  With no communicator the broadcaster just records the
+    history (single-process mode, the paper's 1x1 configuration).
+    """
+
+    def __init__(self, comm=None, *, root: int = 0) -> None:
+        self.comm = comm
+        self.root = root
+        self.history: List[StatusBroadcast] = []
+
+    def publish(self, event: StatusBroadcast) -> StatusBroadcast:
+        """Broadcast one event, recording it locally."""
+        if self.comm is not None:
+            self.comm.broadcast(event, root=self.root)
+        self.history.append(event)
+        return event
+
+    @property
+    def last(self) -> Optional[StatusBroadcast]:
+        return self.history[-1] if self.history else None

@@ -1,0 +1,90 @@
+"""Feature result types produced by the extraction pipelines.
+
+Features are the *outputs* of the method: a break-point radius for the
+material deformation study, a detonation delay-time for the wdmerger
+study, and a generic container for threshold events detected mid-run.
+They are plain frozen dataclasses so results can be compared, sorted
+and serialised trivially in tests and benchmark tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class BreakPointFeature:
+    """Material break-point: largest radius where motion exceeds threshold.
+
+    Attributes
+    ----------
+    radius:
+        Break-point location id (radial element index).
+    threshold:
+        Relative velocity threshold that defined it (e.g. ``0.02``).
+    detected_at_iteration:
+        Simulation iteration at which the feature became available
+        (end of the training window under early termination).
+    source:
+        ``"simulation"`` for ground truth or ``"feature_extraction"``.
+    """
+
+    radius: int
+    threshold: float
+    detected_at_iteration: Optional[int] = None
+    source: str = "feature_extraction"
+
+    def error_vs(self, truth: "BreakPointFeature") -> Tuple[int, float]:
+        """(difference, relative error %) against a ground-truth feature.
+
+        Matches the paper's Table II convention: difference is
+        ``truth.radius - self.radius`` and the percentage is relative to
+        the extracted radius.
+        """
+        diff = truth.radius - self.radius
+        pct = 100.0 * diff / self.radius if self.radius else float("inf")
+        return diff, pct
+
+
+@dataclass(frozen=True)
+class DelayTimeFeature:
+    """Detonation delay-time derived from one diagnostic variable."""
+
+    variable: str
+    delay_time: float
+    detected_at_iteration: Optional[int] = None
+    source: str = "feature_extraction"
+
+    def error_vs(self, truth: "DelayTimeFeature") -> Tuple[float, float]:
+        """(difference, relative error %) against ground truth.
+
+        Paper Table VI convention: difference is extracted minus truth,
+        percentage relative to truth.
+        """
+        diff = self.delay_time - truth.delay_time
+        pct = 100.0 * diff / truth.delay_time if truth.delay_time else float("inf")
+        return diff, pct
+
+
+@dataclass(frozen=True)
+class ThresholdEvent:
+    """A threshold crossing observed while the simulation runs."""
+
+    iteration: int
+    location: int
+    value: float
+    threshold_value: float
+    rank: int = 0
+
+
+@dataclass
+class ExtractionSummary:
+    """Everything a finished analysis reports back to the caller."""
+
+    samples_collected: int = 0
+    updates: int = 0
+    final_loss: Optional[float] = None
+    converged: bool = False
+    converged_at_iteration: Optional[int] = None
+    features: list = field(default_factory=list)

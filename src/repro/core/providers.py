@@ -1,0 +1,82 @@
+"""Variable providers: how the collector reads diagnostic variables.
+
+The paper's ``td_var_provider`` is a user function mapping ``(domain,
+location)`` to a scalar value of the diagnostic variable (e.g. the x
+velocity of a LULESH node).  Any Python callable with that signature
+works; this module adds small adapters for common cases.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol, Sequence
+
+from repro.errors import CollectionError
+
+ProviderFn = Callable[[object, int], float]
+
+
+class VariableProvider(Protocol):
+    """Protocol for variable providers: ``provider(domain, location)``."""
+
+    def __call__(self, domain: object, location: int) -> float: ...
+
+
+def checked(provider: ProviderFn, name: str = "provider") -> ProviderFn:
+    """Wrap ``provider`` so non-finite values raise :class:`CollectionError`.
+
+    A NaN escaping from a diverging simulation would otherwise silently
+    corrupt the running normalisation statistics of the AR trainer.
+    """
+
+    def _checked(domain: object, location: int) -> float:
+        value = float(provider(domain, location))
+        if not math.isfinite(value):
+            raise CollectionError(
+                f"{name} returned non-finite value {value!r} at "
+                f"location {location}"
+            )
+        return value
+
+    return _checked
+
+
+def array_provider(values: Sequence[float]) -> ProviderFn:
+    """Provider reading from a per-location array attribute-free source.
+
+    Useful for tests and for simulations whose state is a plain array:
+    the ``domain`` argument is ignored, ``location`` indexes ``values``.
+    """
+
+    def _provider(domain: object, location: int) -> float:
+        return float(values[location])
+
+    return _provider
+
+
+def attribute_provider(attribute: str) -> ProviderFn:
+    """Provider reading ``getattr(domain, attribute)[location]``.
+
+    Mirrors the LULESH example in the paper, where the provider body is
+    ``locDom->xd(loc)``: the domain object owns a per-location array and
+    the provider simply indexes it.
+    """
+
+    def _provider(domain: object, location: int) -> float:
+        return float(getattr(domain, attribute)[location])
+
+    return _provider
+
+
+def scalar_provider(attribute: str) -> ProviderFn:
+    """Provider reading a domain-global scalar, ignoring the location.
+
+    The wdmerger diagnostics (total mass, total energy, ...) are
+    domain-global reductions rather than per-location values; spatial
+    windows over them use a single location 0.
+    """
+
+    def _provider(domain: object, location: int) -> float:
+        return float(getattr(domain, attribute))
+
+    return _provider

@@ -1,0 +1,114 @@
+"""Region: the execution-side orchestrator wrapping the simulation loop.
+
+A :class:`Region` marks the code block of the main computation
+(``begin``/``end`` around the simulation's per-iteration work, exactly
+like the paper's LULESH listing).  On each ``end`` it drives every
+attached analysis, publishes any status broadcasts over the (simulated)
+communicator, and reports whether the simulation should keep running —
+the early-termination channel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.curve_fitting import Analysis
+from repro.core.events import ACTION_TERMINATE, StatusBroadcaster
+from repro.errors import ConfigurationError
+
+
+class Region:
+    """In-situ analysis region bound to one simulation domain.
+
+    Parameters
+    ----------
+    name:
+        Label used in reports; may be empty (as in the paper's listing).
+    domain:
+        The simulation domain object passed to variable providers.
+    comm:
+        Optional simulated communicator; status events are broadcast
+        through it so their cost lands in the overhead measurement.
+    """
+
+    def __init__(self, name: str = "", domain: object = None, comm=None) -> None:
+        self.name = name
+        self.domain = domain
+        self.broadcaster = StatusBroadcaster(comm)
+        self.analyses: List[Analysis] = []
+        self.iteration = 0
+        self._in_block = False
+        self._stop_requested = False
+
+    def add_analysis(self, analysis: Analysis) -> Analysis:
+        """Attach an analysis; returns it for chaining."""
+        if not isinstance(analysis, Analysis):
+            raise ConfigurationError(
+                f"expected an Analysis, got {type(analysis).__name__}"
+            )
+        self.analyses.append(analysis)
+        return analysis
+
+    @property
+    def stop_requested(self) -> bool:
+        """True once any analysis asked to terminate the simulation."""
+        return self._stop_requested
+
+    def begin(self) -> int:
+        """Mark the start of one simulation iteration; returns its number.
+
+        Iterations are numbered from 1, matching the paper's iteration
+        counts (a size-30 LULESH run is "932 iterations").
+        """
+        if self._in_block:
+            raise ConfigurationError(
+                "begin() called twice without an intervening end()"
+            )
+        self._in_block = True
+        self.iteration += 1
+        return self.iteration
+
+    def end(self, domain: object = None) -> bool:
+        """Mark the end of the iteration; returns False to stop the loop.
+
+        ``domain`` overrides the region's bound domain for this call
+        (useful when the simulation rebuilds its state object).
+        """
+        if not self._in_block:
+            raise ConfigurationError("end() called without a matching begin()")
+        self._in_block = False
+        active_domain = domain if domain is not None else self.domain
+        for analysis in self.analyses:
+            event = analysis.on_iteration(active_domain, self.iteration)
+            if event is not None:
+                self.broadcaster.publish(event)
+                if event.action == ACTION_TERMINATE:
+                    self._stop_requested = True
+            if analysis.wants_stop:
+                self._stop_requested = True
+        return not self._stop_requested
+
+    def run(self, step, max_iterations: int, domain: object = None) -> int:
+        """Convenience driver: call ``step(iteration)`` inside the region.
+
+        Runs until ``max_iterations`` or until an analysis requests
+        termination; returns the number of iterations executed.  The
+        per-iteration structure is identical to instrumenting a loop by
+        hand with :meth:`begin`/:meth:`end`.
+        """
+        if max_iterations < 0:
+            raise ConfigurationError(
+                f"max_iterations must be >= 0, got {max_iterations}"
+            )
+        executed = 0
+        for _ in range(max_iterations):
+            iteration = self.begin()
+            step(iteration)
+            executed += 1
+            if not self.end(domain):
+                break
+        return executed
+
+    def summaries(self) -> dict:
+        """Per-analysis extraction summaries, keyed by analysis name."""
+        return {a.name: a.summary() for a in self.analyses}

@@ -1,0 +1,185 @@
+"""Variable tracking: locating focal points on a curve.
+
+Implements the paper's Section III-B-3 algorithm.  Four back-to-back
+samples give three gradients ``k1, k2, k3``; a sign change between
+``k2`` and ``k3`` marks a local extremum at the third sample (positive
+``k2`` with negative ``k3`` is a maximum, the reverse a minimum).
+Running the same detection over the *gradient* series locates
+inflection points, which the wdmerger case study uses as detonation
+indicators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TrackedPoint:
+    """A focal point found on a curve.
+
+    ``index`` is the sample index of the extremum/inflection itself
+    (sub-sample refined indices are floats), ``value`` the curve value
+    there, and ``kind`` one of ``"max"``, ``"min"`` or ``"inflection"``.
+    """
+
+    index: float
+    value: float
+    kind: str
+
+
+class VariableTracker:
+    """Streaming detector over one variable fed a sample at a time.
+
+    Keeps the last four samples; each :meth:`feed` call recomputes
+    ``k1, k2, k3`` and reports an extremum the moment the sign pattern
+    appears — the property that makes threshold-style features available
+    *during* the simulation rather than after it.
+    """
+
+    def __init__(self, *, min_gradient: float = 0.0) -> None:
+        if min_gradient < 0:
+            raise ConfigurationError(
+                f"min_gradient must be >= 0, got {min_gradient}"
+            )
+        self.min_gradient = min_gradient
+        self._window: List[float] = []
+        self._count = 0
+        self.events: List[TrackedPoint] = []
+
+    def feed(self, value: float) -> Optional[TrackedPoint]:
+        """Push one sample; return a TrackedPoint if one was detected.
+
+        The returned index is the position (0-based) of the sample the
+        extremum sits on, i.e. the third of the four samples in the
+        window when the detection fires.
+        """
+        self._window.append(float(value))
+        self._count += 1
+        if len(self._window) > 4:
+            self._window.pop(0)
+        if len(self._window) < 4:
+            return None
+        v0, v1, v2, v3 = self._window
+        k2 = v2 - v1
+        k3 = v3 - v2
+        threshold = self.min_gradient
+        event: Optional[TrackedPoint] = None
+        index = self._count - 2  # the sample holding v2
+        if k2 > threshold and k3 < -threshold:
+            event = TrackedPoint(index=float(index), value=v2, kind="max")
+        elif k2 < -threshold and k3 > threshold:
+            event = TrackedPoint(index=float(index), value=v2, kind="min")
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def reset(self) -> None:
+        self._window.clear()
+        self._count = 0
+        self.events.clear()
+
+
+def gradients(series: Sequence[float]) -> np.ndarray:
+    """First differences of a series (one element shorter)."""
+    arr = np.asarray(series, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ConfigurationError("series must be one-dimensional")
+    return np.diff(arr)
+
+
+def smooth(series: Sequence[float], window: int = 1) -> np.ndarray:
+    """Centred moving average; ``window=1`` is the identity.
+
+    Tracking raw simulation output fires on numerical noise; the
+    evaluation drivers smooth diagnostics lightly before inflection
+    detection (an ablation benchmark measures the effect).
+    """
+    arr = np.asarray(series, dtype=np.float64)
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    if window == 1 or arr.size == 0:
+        return arr.copy()
+    kernel = np.ones(window) / window
+    padded = np.concatenate(
+        [np.full(window // 2, arr[0]), arr, np.full(window - 1 - window // 2, arr[-1])]
+    )
+    return np.convolve(padded, kernel, mode="valid")
+
+
+def find_extrema(series: Sequence[float], *, min_gradient: float = 0.0) -> List[TrackedPoint]:
+    """Batch extremum detection using the streaming tracker."""
+    tracker = VariableTracker(min_gradient=min_gradient)
+    for value in series:
+        tracker.feed(value)
+    return list(tracker.events)
+
+
+def find_inflections(
+    series: Sequence[float], *, smooth_window: int = 1, min_gradient: float = 0.0
+) -> List[TrackedPoint]:
+    """Inflection points: extrema of the gradient series.
+
+    The reported index is shifted back onto the original series (a
+    gradient sample ``g[i]`` lives between samples ``i`` and ``i+1``;
+    we attribute the inflection to ``i + 0.5``).
+    """
+    arr = smooth(series, smooth_window)
+    grads = gradients(arr)
+    points = find_extrema(grads, min_gradient=min_gradient)
+    out = []
+    for p in points:
+        value_index = int(round(p.index))
+        value = float(arr[min(value_index + 1, arr.size - 1)])
+        out.append(TrackedPoint(index=p.index + 0.5, value=value, kind="inflection"))
+    return out
+
+
+def detect_gradient_break(
+    series: Sequence[float],
+    *,
+    smooth_window: int = 1,
+    search_from: int = 2,
+) -> float:
+    """Timestep where the curve's gradient changes most abruptly.
+
+    This is the wdmerger delay-time rule: "the gradient of the
+    time-scale ratio quickly drops; by comparing the gradient of this
+    timestamp with those of the preceding and following timesteps, a
+    delay time can be derived."  We locate the maximum magnitude of the
+    second difference and refine it to sub-step precision with a
+    quadratic fit through the neighbouring magnitudes.
+
+    Parameters
+    ----------
+    series:
+        Diagnostic variable sampled per timestep.
+    smooth_window:
+        Optional moving-average width applied first.
+    search_from:
+        Ignore the first few samples, where start-up transients produce
+        spurious curvature.
+    """
+    arr = smooth(series, smooth_window)
+    if arr.size < max(4, search_from + 3):
+        raise ConfigurationError(
+            f"series too short ({arr.size}) for gradient-break detection"
+        )
+    curvature = np.abs(np.diff(arr, n=2))
+    lo = max(0, search_from - 1)
+    idx = int(lo + np.argmax(curvature[lo:]))
+    # Quadratic refinement around the peak of |second difference|.
+    if 0 < idx < curvature.size - 1:
+        y0, y1, y2 = curvature[idx - 1: idx + 2]
+        denom = y0 - 2 * y1 + y2
+        shift = 0.0 if abs(denom) < 1e-300 else 0.5 * (y0 - y2) / denom
+        shift = float(np.clip(shift, -0.5, 0.5))
+    else:
+        shift = 0.0
+    # curvature[i] is centred on sample i+1 of the original series.
+    return float(idx + 1 + shift)

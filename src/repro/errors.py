@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError`, so callers can catch one type at an integration
+boundary while still distinguishing configuration mistakes from runtime
+failures.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied parameter is invalid or inconsistent.
+
+    Raised eagerly at construction time (e.g. a non-positive model order,
+    an iteration range whose ``end`` precedes ``begin``) so mistakes
+    surface before a long simulation starts.
+    """
+
+
+class NotTrainedError(ReproError):
+    """A prediction was requested from a model with no completed updates."""
+
+
+class CollectionError(ReproError):
+    """Data collection observed inconsistent simulation state.
+
+    For example, a variable provider returning a non-finite value, or a
+    sample arriving for an iteration earlier than one already recorded.
+    """
+
+
+class SimulationError(ReproError):
+    """A substrate simulation (LULESH/wdmerger) became unphysical.
+
+    Raised when the integrator detects NaNs, negative densities or a
+    collapsed timestep, which would otherwise silently poison the
+    feature extraction downstream.
+    """
+
+
+class CommunicatorError(ReproError):
+    """Misuse of the simulated MPI communicator (bad rank, closed comm)."""

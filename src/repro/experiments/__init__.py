@@ -1,0 +1,58 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+See DESIGN.md §4 for the experiment index.  Each driver returns a
+:class:`~repro.experiments.common.Table` whose ``render()`` prints the
+paper-style rows; the benchmark suite calls these and asserts on the
+reproduced shapes.
+"""
+
+from repro.experiments.common import (
+    Table,
+    lulesh_reference,
+    train_from_history,
+    train_series_from_history,
+    wdmerger_reference,
+)
+from repro.experiments.lulesh_accuracy import (
+    coverage,
+    fig4,
+    fig5,
+    fit_error_full_run,
+    ground_truth_radius,
+    table1,
+    table2,
+)
+from repro.experiments.lulesh_perf import table3, table4
+from repro.experiments.scaling import ScalingModel
+from repro.experiments.wdmerger_accuracy import (
+    fig7,
+    fig8,
+    predicted_full_series,
+    table5,
+    table6,
+)
+from repro.experiments.wdmerger_perf import table7
+
+__all__ = [
+    "ScalingModel",
+    "Table",
+    "coverage",
+    "fig4",
+    "fig5",
+    "fig7",
+    "fig8",
+    "fit_error_full_run",
+    "ground_truth_radius",
+    "lulesh_reference",
+    "predicted_full_series",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "train_from_history",
+    "train_series_from_history",
+    "wdmerger_reference",
+]

@@ -1,0 +1,183 @@
+"""Shared infrastructure for the experiment drivers.
+
+Provides the plain-text table container every driver returns (so
+benchmarks can both assert on rows and print paper-style output), the
+cached reference runs (full LULESH / wdmerger simulations reused across
+tables), and the replay helper that trains an analysis from a recorded
+history without re-running the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.params import IterParam
+from repro.errors import ConfigurationError
+from repro.lulesh import LuleshSimulation
+from repro.wdmerger import WdMergerSimulation
+
+
+@dataclass
+class Table:
+    """A reproduction of one paper table (or figure's data series)."""
+
+    title: str
+    headers: List[str]
+    rows: List[Tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ConfigurationError(
+                f"row has {len(values)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> List:
+        try:
+            idx = self.headers.index(name)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"no column {name!r} in {self.headers}"
+            ) from exc
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        """Aligned plain-text rendering (the benchmark harness output)."""
+        cells = [self.headers] + [
+            [self._fmt(v) for v in row] for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [self.title, "-" * len(self.title)]
+        for i, row in enumerate(cells):
+            lines.append(
+                "  ".join(cell.ljust(widths[j]) for j, cell in enumerate(row))
+            )
+            if i == 0:
+                lines.append("  ".join("=" * w for w in widths))
+        if self.notes:
+            lines.append("")
+            lines.append(self.notes)
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.4g}"
+        return str(value)
+
+
+@dataclass(frozen=True)
+class LuleshReference:
+    """One complete LULESH run's recorded ground truth."""
+
+    size: int
+    history: np.ndarray  # (iterations, nodes) |velocity|
+    total_iterations: int
+    blast_velocity: float
+    final_time: float
+
+
+@lru_cache(maxsize=8)
+def lulesh_reference(size: int) -> LuleshReference:
+    """Run (once per size) the full simulation, recording every node."""
+    sim = LuleshSimulation(
+        size, maintain_field=False, record_locations=list(range(size + 1))
+    )
+    result = sim.run()
+    return LuleshReference(
+        size=size,
+        history=result.velocity_history,
+        total_iterations=result.iterations,
+        blast_velocity=sim.blast_velocity,
+        final_time=result.time,
+    )
+
+
+@dataclass(frozen=True)
+class WdReference:
+    """One complete wdmerger run's recorded ground truth."""
+
+    resolution: int
+    times: np.ndarray
+    series: dict  # name -> np.ndarray
+    total_iterations: int
+    dt: float
+    detonation_time: Optional[float]
+    merger_time: Optional[float]
+
+
+@lru_cache(maxsize=8)
+def wdmerger_reference(resolution: int) -> WdReference:
+    """Run (once per resolution) the full merger with grid diagnostics."""
+    sim = WdMergerSimulation(resolution)
+    sim.run()
+    history = sim.history
+    return WdReference(
+        resolution=resolution,
+        times=history.times,
+        series=history.all_series(),
+        total_iterations=sim.iteration,
+        dt=sim.dt,
+        detonation_time=sim.events.detonation_time,
+        merger_time=sim.events.merger_time,
+    )
+
+
+class _ReplayDomain:
+    """Domain stand-in whose per-location values come from one history row."""
+
+    def __init__(self) -> None:
+        self.row: Optional[np.ndarray] = None
+
+    def value(self, location: int) -> float:
+        return float(self.row[location])
+
+
+def train_from_history(
+    history: np.ndarray,
+    spatial: IterParam,
+    temporal: IterParam,
+    **analysis_kwargs,
+) -> CurveFitting:
+    """Train a CurveFitting analysis by replaying a recorded history.
+
+    Exactly equivalent to attaching the analysis to the live simulation
+    (the collector sees the same rows in the same order), but reusing
+    the cached reference run makes accuracy sweeps cheap.
+    """
+    arr = np.asarray(history, dtype=np.float64)
+    domain = _ReplayDomain()
+    analysis = CurveFitting(
+        lambda d, loc: d.value(loc), spatial, temporal, **analysis_kwargs
+    )
+    # Recorded row r holds iteration r+1 (rows are appended after each
+    # step of the 1-based iteration counter).
+    last = min(temporal.end, arr.shape[0])
+    for iteration in range(1, last + 1):
+        domain.row = arr[iteration - 1]
+        analysis.on_iteration(domain, iteration)
+    if not analysis.collector.done:
+        analysis.collector.finalize()
+    return analysis
+
+
+def train_series_from_history(
+    series: Sequence[float],
+    temporal: IterParam,
+    **analysis_kwargs,
+) -> CurveFitting:
+    """Replay-train a time-axis analysis on a scalar diagnostic series."""
+    arr = np.asarray(series, dtype=np.float64).reshape(-1, 1)
+    analysis_kwargs.setdefault("axis", "time")
+    return train_from_history(
+        arr, IterParam(0, 0, 1), temporal, **analysis_kwargs
+    )

@@ -1,0 +1,92 @@
+"""CSV export for tables and figure series.
+
+The figures are emitted as data (not rendered images) so any plotting
+tool can regenerate them; ``export_all`` writes one CSV per table and
+figure into a directory, which is how the paper-style plots in a
+downstream notebook are fed.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, Iterable
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import Table
+
+
+def write_table_csv(table: Table, path: str) -> str:
+    """Write one table to ``path`` as CSV; returns the path."""
+    directory = os.path.dirname(path)
+    if directory and not os.path.isdir(directory):
+        os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.headers)
+        writer.writerows(table.rows)
+    return path
+
+
+def read_table_csv(path: str) -> Table:
+    """Round-trip reader (cells come back as strings)."""
+    if not os.path.isfile(path):
+        raise ConfigurationError(f"no such CSV: {path}")
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    if not rows:
+        raise ConfigurationError(f"empty CSV: {path}")
+    table = Table(title=os.path.basename(path), headers=rows[0])
+    for row in rows[1:]:
+        table.add_row(*row)
+    return table
+
+
+def export_tables(tables: Dict[str, Table], directory: str) -> Dict[str, str]:
+    """Write a name → Table mapping to ``directory``; returns paths."""
+    paths = {}
+    for name, table in tables.items():
+        safe = name.replace(" ", "_").replace(".", "").lower()
+        paths[name] = write_table_csv(
+            table, os.path.join(directory, f"{safe}.csv")
+        )
+    return paths
+
+
+def export_all(directory: str, *, quick: bool = True) -> Dict[str, str]:
+    """Regenerate and export every accuracy table and figure.
+
+    The performance tables (III, IV, VII) are included only when
+    ``quick`` is False — they take minutes at the full grid.
+    """
+    from repro.experiments import (
+        coverage,
+        fig4,
+        fig5,
+        fig7,
+        fig8,
+        table1,
+        table2,
+        table5,
+        table6,
+    )
+
+    tables: Dict[str, Table] = {
+        "table1": table1(),
+        "fig4": fig4(),
+        "table2": table2(),
+        "coverage": coverage(),
+        "fig5": fig5(),
+        "table5": table5(),
+        "table6": table6(),
+        "fig8": fig8(),
+    }
+    for name, fig_table in fig7().items():
+        tables[f"fig7_{name}"] = fig_table
+    if not quick:
+        from repro.experiments import table3, table4, table7
+
+        tables["table3"] = table3()
+        tables["table4"] = table4()
+        tables["table7"] = table7()
+    return export_tables(tables, directory)

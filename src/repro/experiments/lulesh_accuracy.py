@@ -1,0 +1,215 @@
+"""LULESH accuracy experiments: Table I, Figure 4, Table II.
+
+All three share the cached reference run of
+:func:`~repro.experiments.common.lulesh_reference`; analyses are
+replay-trained on prefixes of the recorded history exactly as the live
+in-situ pipeline would see them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.accuracy import error_rate
+from repro.core.curve_fitting import evaluate_spatial_history
+from repro.core.params import IterParam
+from repro.core.thresholds import ThresholdDetector, peak_profile
+from repro.experiments.common import (
+    Table,
+    lulesh_reference,
+    train_from_history,
+)
+
+#: Default analysis hyper-parameters for the LULESH case study.
+LULESH_LAG = 10
+LULESH_ORDER = 3
+WARMUP_ITERATIONS = 50
+
+
+def _trained_model(
+    size: int,
+    interval: Tuple[int, int],
+    fraction: float,
+    *,
+    lag: int = LULESH_LAG,
+    order: int = LULESH_ORDER,
+    seed: int = 0,
+):
+    ref = lulesh_reference(size)
+    window_end = int(fraction * ref.total_iterations)
+    analysis = train_from_history(
+        ref.history,
+        IterParam(interval[0], interval[1], 1),
+        IterParam(WARMUP_ITERATIONS, window_end, 1),
+        lag=lag,
+        order=order,
+        seed=seed,
+    )
+    return analysis, ref
+
+
+def fit_error_full_run(
+    size: int,
+    interval: Tuple[int, int],
+    fraction: float,
+    *,
+    lag: int = LULESH_LAG,
+    order: int = LULESH_ORDER,
+    location: int = None,
+) -> float:
+    """Curve-fit error (%) of a prefix-trained model over the full run.
+
+    This is one cell of Table I: train on the first ``fraction`` of
+    iterations over ``interval``, evaluate one-step predictions against
+    the complete recorded history.
+    """
+    analysis, ref = _trained_model(size, interval, fraction, lag=lag, order=order)
+    window = (
+        interval if location is None
+        else (location - order + 1, location)
+    )
+    predicted, real = evaluate_spatial_history(
+        analysis.model,
+        ref.history,
+        IterParam(window[0], window[1], 1),
+        include_self=analysis.include_self,
+        start_iteration=WARMUP_ITERATIONS,
+    )
+    return error_rate(predicted, real)
+
+
+def table1(
+    size: int = 30,
+    fractions: Sequence[float] = (0.4, 0.6, 0.8),
+    intervals: Sequence[Tuple[int, int]] = ((1, 10), (10, 20), (20, 30)),
+) -> Table:
+    """Table I: fit error by location interval x training fraction."""
+    table = Table(
+        title=f"Table I — curve-fitting error rates (%), domain size {size}",
+        headers=["Locations"] + [f"{int(100 * f)}%" for f in fractions],
+        notes=(
+            "Paper shape: small error for (1,10) everywhere; large "
+            "overfit errors for intervals the wave has not reached "
+            "within the training window, shrinking as the window grows."
+        ),
+    )
+    for interval in intervals:
+        cells = [
+            fit_error_full_run(size, interval, fraction)
+            for fraction in fractions
+        ]
+        table.add_row(str(interval), *[round(c, 1) for c in cells])
+    return table
+
+
+def fig4(
+    size: int = 30,
+    lags: Sequence[int] = (10, 50),
+    fractions: Sequence[float] = (0.4, 0.6, 0.8),
+    location: int = 10,
+) -> Table:
+    """Figure 4: fit error at one location for different lag values.
+
+    The paper contrasts lag 50 against lag 100 on a 932-iteration run;
+    our calibration runs ~863 iterations with a faster early phase, so
+    the matching contrast is the tuned lag (10) against a 5x too-large
+    one (50) — the qualitative finding (a well-chosen lag beats an
+    oversized one, and the gap closes with more training data) carries.
+    """
+    table = Table(
+        title=f"Fig. 4 — fit error (%) at location {location} by lag, size {size}",
+        headers=["Lag"] + [f"{int(100 * f)}%" for f in fractions],
+    )
+    for lag in lags:
+        cells = [
+            fit_error_full_run(
+                size, (1, location), fraction, lag=lag, location=location
+            )
+            for fraction in fractions
+        ]
+        table.add_row(lag, *[round(c, 2) for c in cells])
+    return table
+
+
+#: The paper's Table II threshold list (fractions of the blast velocity).
+TABLE2_THRESHOLDS = (
+    0.001, 0.002, 0.005, 0.0075, 0.01, 0.02, 0.05, 0.1, 0.2
+)
+
+
+def ground_truth_radius(size: int, threshold: float) -> int:
+    """Break-point radius from the complete simulation (the "From Sim."
+    column): largest location whose all-run peak exceeds the threshold."""
+    ref = lulesh_reference(size)
+    profile = peak_profile(ref.history)
+    detector = ThresholdDetector(ref.blast_velocity, size)
+    locations = list(range(ref.history.shape[1]))
+    # Skip the fixed centre node (always zero).
+    return detector.break_point(
+        locations[1:], profile[1:], threshold
+    ).radius
+
+
+def table2(
+    size: int = 30,
+    thresholds: Sequence[float] = TABLE2_THRESHOLDS,
+    fraction: float = 0.4,
+    window: Tuple[int, int] = (1, 10),
+) -> Table:
+    """Table II: extracted break-point radius vs simulation ground truth.
+
+    One analysis is trained on the window prefix; every threshold is
+    then resolved against the same extrapolated peak profile, exactly
+    as the in-situ pipeline would answer multiple threshold queries.
+    """
+    analysis, ref = _trained_model(size, window, fraction)
+    analysis.reference_value = ref.blast_velocity
+    table = Table(
+        title=f"Table II — break-point radius, domain size {size}",
+        headers=["Threshold(%)", "From Sim.", "Feat. Extraction", "Difference(%)"],
+        notes=(
+            "Paper shape: low thresholds saturate at the domain edge "
+            "(-16.67%-class error), high thresholds match exactly."
+        ),
+    )
+    for threshold in thresholds:
+        truth = ground_truth_radius(size, threshold)
+        extracted = analysis.break_point(threshold, size)
+        diff = truth - extracted
+        pct = 100.0 * diff / extracted if extracted else float("inf")
+        table.add_row(
+            round(100 * threshold, 2), truth, extracted, f"{diff}({pct:+.2f}%)"
+        )
+    return table
+
+
+def coverage(sizes: Sequence[int] = (30, 60, 90), threshold: float = 0.002) -> Table:
+    """Region coverage by domain size (the 53.7%/72.3%/71.3% claims)."""
+    table = Table(
+        title="Break-point coverage by domain size",
+        headers=["Size", "Radius", "Coverage(%)"],
+    )
+    for size in sizes:
+        radius = ground_truth_radius(size, threshold)
+        table.add_row(size, radius, round(100.0 * radius / size, 1))
+    return table
+
+
+def fig5(size: int = 30, locations: Sequence[int] = tuple(range(1, 11))) -> Table:
+    """Figure 5 data: velocity over iterations at locations 1..10.
+
+    Returned as a long-format table (iteration, location, velocity) —
+    the plotting-tool-agnostic equivalent of the paper's figure.
+    """
+    ref = lulesh_reference(size)
+    table = Table(
+        title=f"Fig. 5 — velocity distribution over iterations, size {size}",
+        headers=["iteration", "location", "velocity"],
+    )
+    step = max(1, ref.total_iterations // 200)
+    for it in range(0, ref.total_iterations, step):
+        for loc in locations:
+            table.add_row(it + 1, loc, float(ref.history[it, loc]))
+    return table

@@ -1,0 +1,71 @@
+"""Regenerate every table and figure in one go.
+
+Run as ``python -m repro.experiments.runner`` (add ``--quick`` to trim
+the slow performance sweeps).  Output is the paper-style plain-text
+tables; this is also what EXPERIMENTS.md's measured numbers come from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    coverage,
+    fig4,
+    fig8,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller sizes / fewer thresholds for the performance tables",
+    )
+    args = parser.parse_args(argv)
+
+    sections = [
+        ("Table I", lambda: table1()),
+        ("Fig. 4", lambda: fig4()),
+        ("Table II", lambda: table2()),
+        ("Coverage", lambda: coverage((30, 60) if args.quick else (30, 60, 90))),
+        (
+            "Table III",
+            lambda: table3(sizes=(30, 60) if args.quick else (30, 60, 90)),
+        ),
+        (
+            "Table IV",
+            lambda: table4(
+                sizes=(30,) if args.quick else (30, 60, 90),
+                thresholds=(0.002, 0.02, 0.2) if args.quick else None
+                or (0.001, 0.002, 0.005, 0.0075, 0.01, 0.02, 0.05, 0.1, 0.2),
+            ),
+        ),
+        ("Table V", lambda: table5()),
+        ("Table VI", lambda: table6()),
+        (
+            "Table VII",
+            lambda: table7(
+                resolutions=(16, 32) if args.quick else (16, 32, 48)
+            ),
+        ),
+        ("Fig. 8", lambda: fig8()),
+    ]
+    for name, build in sections:
+        print()
+        print(build().render())
+        sys.stdout.flush()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

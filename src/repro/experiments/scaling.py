@@ -1,0 +1,84 @@
+"""Modeled MPI x OpenMP scaling used by the performance tables.
+
+The paper measures wall-clock on real MPI ranks and OpenMP threads; our
+substrate executes serially and *models* the parallel dimension (see
+DESIGN.md §2).  A configuration's reported time combines:
+
+* the measured serial compute time divided by a communication-aware
+  MPI speedup (halo exchange per iteration grows with rank count while
+  the per-rank work shrinks — so small problems stop scaling, exactly
+  the paper's size-16 wdmerger rows where more ranks run *slower*);
+* an Amdahl OpenMP speedup on the remaining per-rank work;
+* the per-iteration broadcast charges accumulated by the simulated
+  communicator (the feature-extraction overhead channel).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.parallel.cost_model import CommCostModel, ThreadingModel
+
+
+@dataclass(frozen=True)
+class ScalingModel:
+    """Maps measured serial seconds to a (ranks, threads) configuration.
+
+    Parameters
+    ----------
+    elements:
+        Total work items per iteration (size^3 or resolution^3).
+    iterations:
+        Iteration count of the run being scaled.
+    halo_seconds_per_element:
+        Cost per halo-surface element exchanged per iteration.
+    comm:
+        Latency/bandwidth model for collective start-ups.
+    threading:
+        Amdahl model for the OpenMP dimension.
+    """
+
+    elements: int
+    iterations: int
+    halo_seconds_per_element: float = 2.0e-8
+    comm: CommCostModel = CommCostModel()
+    threading: ThreadingModel = ThreadingModel()
+
+    def __post_init__(self) -> None:
+        if self.elements <= 0:
+            raise ConfigurationError(
+                f"elements must be positive, got {self.elements}"
+            )
+        if self.iterations <= 0:
+            raise ConfigurationError(
+                f"iterations must be positive, got {self.iterations}"
+            )
+
+    def halo_time(self, ranks: int) -> float:
+        """Per-run halo-exchange cost for a 3-D block decomposition."""
+        if ranks <= 0:
+            raise ConfigurationError(f"ranks must be positive, got {ranks}")
+        if ranks == 1:
+            return 0.0
+        per_rank_elements = self.elements / ranks
+        surface = 6.0 * per_rank_elements ** (2.0 / 3.0)
+        per_iteration = (
+            surface * self.halo_seconds_per_element
+            + self.comm.latency_s * np.ceil(np.log2(ranks))
+        )
+        return float(per_iteration * self.iterations)
+
+    def configured_time(
+        self, serial_seconds: float, ranks: int, threads: int
+    ) -> float:
+        """Wall time of the run on ``ranks`` x ``threads``."""
+        if serial_seconds < 0:
+            raise ConfigurationError(
+                f"serial_seconds must be >= 0, got {serial_seconds}"
+            )
+        compute = serial_seconds / ranks
+        compute = self.threading.scaled_time(compute, threads)
+        return compute + self.halo_time(ranks)

@@ -1,0 +1,61 @@
+"""Overhead and acceleration arithmetic for the performance tables.
+
+Small, well-named helpers so the experiment drivers and the paper
+tables share one definition:
+
+* overhead % = (instrumented - original) / original * 100  (Tables III, VII)
+* acceleration % = (original - early_stop) / original * 100  (Table VII)
+* share % = part / whole * 100  (Table IV's "% of total execution time")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def overhead_percent(original: float, instrumented: float) -> float:
+    """Relative overhead of the instrumented run, in percent."""
+    if original <= 0:
+        raise ConfigurationError(
+            f"original time must be positive, got {original}"
+        )
+    return 100.0 * (instrumented - original) / original
+
+
+def acceleration_percent(original: float, early_stopped: float) -> float:
+    """Saved fraction of the original run time, in percent."""
+    if original <= 0:
+        raise ConfigurationError(
+            f"original time must be positive, got {original}"
+        )
+    return 100.0 * (original - early_stopped) / original
+
+
+def share_percent(part: float, whole: float) -> float:
+    """``part`` as a percentage of ``whole``."""
+    if whole <= 0:
+        raise ConfigurationError(f"whole must be positive, got {whole}")
+    return 100.0 * part / whole
+
+
+@dataclass(frozen=True)
+class OverheadReport:
+    """One configuration's worth of Table III/VII numbers."""
+
+    original_seconds: float
+    instrumented_seconds: float
+    early_stop_seconds: float = float("nan")
+
+    @property
+    def overhead_seconds(self) -> float:
+        return self.instrumented_seconds - self.original_seconds
+
+    @property
+    def overhead_pct(self) -> float:
+        return overhead_percent(self.original_seconds, self.instrumented_seconds)
+
+    @property
+    def acceleration_pct(self) -> float:
+        return acceleration_percent(self.original_seconds, self.early_stop_seconds)

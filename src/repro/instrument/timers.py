@@ -1,0 +1,99 @@
+"""Wall-clock instrumentation for overhead measurement.
+
+The paper's overhead numbers are differences between instrumented and
+plain execution times.  :class:`SectionTimer` accumulates named
+sections (cheap ``perf_counter`` pairs) so an experiment can separate
+"simulation" from "feature extraction" time inside a single run, and
+:class:`Stopwatch` is the trivial whole-run timer.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class Stopwatch:
+    """Start/stop wall-clock timer accumulating total seconds."""
+
+    def __init__(self) -> None:
+        self._start: float = 0.0
+        self._total = 0.0
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def seconds(self) -> float:
+        """Accumulated time (including the live span when running)."""
+        if self._running:
+            return self._total + (time.perf_counter() - self._start)
+        return self._total
+
+    def start(self) -> None:
+        if self._running:
+            raise ConfigurationError("stopwatch already running")
+        self._start = time.perf_counter()
+        self._running = True
+
+    def stop(self) -> float:
+        if not self._running:
+            raise ConfigurationError("stopwatch is not running")
+        self._total += time.perf_counter() - self._start
+        self._running = False
+        return self._total
+
+    def reset(self) -> None:
+        self._start = 0.0
+        self._total = 0.0
+        self._running = False
+
+
+class SectionTimer:
+    """Accumulates wall time per named section.
+
+    Use as a context manager::
+
+        timer = SectionTimer()
+        with timer.section("simulation"):
+            sim.step()
+        with timer.section("feature_extraction"):
+            region.end(domain)
+    """
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+
+    @contextmanager
+    def section(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self._totals[name] = self._totals.get(name, 0.0) + elapsed
+            self._counts[name] = self._counts.get(name, 0) + 1
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds of one section (0 if never entered)."""
+        return self._totals.get(name, 0.0)
+
+    def count(self, name: str) -> int:
+        """Times the section was entered."""
+        return self._counts.get(name, 0)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Fold externally modelled time (e.g. simulated comm cost) in."""
+        if seconds < 0:
+            raise ConfigurationError(f"seconds must be >= 0, got {seconds}")
+        self._totals[name] = self._totals.get(name, 0.0) + seconds
+        self._counts[name] = self._counts.get(name, 0) + 1
+
+    def totals(self) -> Dict[str, float]:
+        return dict(self._totals)

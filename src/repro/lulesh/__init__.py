@@ -1,0 +1,35 @@
+"""LULESH-like Sedov blast mini-application.
+
+A Lagrangian, leapfrog-integrated, artificial-viscosity hydrodynamics
+solver for the spherically symmetric Sedov point blast, wrapped in a
+3-D cubic domain view (see DESIGN.md §2 for how this substitutes for
+LULESH 2.0).  Verified against the analytic Sedov–Taylor solution in
+the test suite.
+"""
+
+from repro.lulesh.domain import LuleshDomain
+from repro.lulesh.eos import IdealGasEOS
+from repro.lulesh.hydro import SphericalLagrangianHydro
+from repro.lulesh.mesh import RadialMesh
+from repro.lulesh.sedov import (
+    post_shock_velocity,
+    sedov_constant,
+    shock_radius,
+    shock_speed,
+)
+from repro.lulesh.simulation import LuleshSimulation, SimulationResult
+from repro.lulesh.viscosity import ArtificialViscosity
+
+__all__ = [
+    "ArtificialViscosity",
+    "IdealGasEOS",
+    "LuleshDomain",
+    "LuleshSimulation",
+    "RadialMesh",
+    "SimulationResult",
+    "SphericalLagrangianHydro",
+    "post_shock_velocity",
+    "sedov_constant",
+    "shock_radius",
+    "shock_speed",
+]

@@ -1,0 +1,43 @@
+"""Ideal-gas equation of state for the Sedov blast problem.
+
+LULESH models the Sedov problem with a gamma-law gas; this module is
+the same EOS with the conventional gamma = 1.4 default and the sound
+speed needed by the CFL timestep control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class IdealGasEOS:
+    """Gamma-law gas: ``p = (gamma - 1) * rho * e``.
+
+    Parameters
+    ----------
+    gamma:
+        Adiabatic index; must exceed 1.
+    pressure_floor:
+        Lower clamp applied to returned pressures.  Lagrangian schemes
+        can transiently produce tiny negative pressures in strong
+        rarefactions; the floor keeps the sound speed real.
+    """
+
+    def __init__(self, gamma: float = 1.4, pressure_floor: float = 0.0) -> None:
+        if gamma <= 1.0:
+            raise ConfigurationError(f"gamma must exceed 1, got {gamma}")
+        self.gamma = gamma
+        self.pressure_floor = pressure_floor
+
+    def pressure(self, density: np.ndarray, energy: np.ndarray) -> np.ndarray:
+        """Pressure from density and specific internal energy."""
+        p = (self.gamma - 1.0) * np.asarray(density) * np.asarray(energy)
+        return np.maximum(p, self.pressure_floor)
+
+    def sound_speed(self, density: np.ndarray, pressure: np.ndarray) -> np.ndarray:
+        """Adiabatic sound speed ``sqrt(gamma p / rho)``."""
+        density = np.asarray(density, dtype=np.float64)
+        pressure = np.maximum(np.asarray(pressure, dtype=np.float64), 0.0)
+        return np.sqrt(self.gamma * pressure / density)

@@ -1,0 +1,161 @@
+"""Leapfrog Lagrangian hydrodynamics for the spherical Sedov problem.
+
+One timestep mirrors LULESH's ``LagrangeLeapFrog``:
+
+1. *Nodal* phase — accelerations from the pressure (+ artificial
+   viscosity) gradient, a half-step-offset velocity update, node moves.
+2. *Element* phase — new geometry, compression work on the internal
+   energy, EOS closure.
+3. *Timestep* phase (``TimeIncrement``) — CFL-limited dt with LULESH's
+   bounded growth factor.
+
+In spherical symmetry the momentum equation for a node of lumped mass
+``m`` at radius ``r`` is
+
+    du/dt = -(4*pi*r^2) * (P_out - P_in) / m
+
+with one-sided differences at the centre (reflective) and outer
+(free-surface) boundaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.lulesh.eos import IdealGasEOS
+from repro.lulesh.mesh import FOUR_PI, RadialMesh
+from repro.lulesh.viscosity import ArtificialViscosity
+
+
+class SphericalLagrangianHydro:
+    """Integrator advancing a :class:`RadialMesh` through time.
+
+    Parameters
+    ----------
+    mesh:
+        The radial mesh to advance (mutated in place).
+    eos:
+        Equation of state; defaults to gamma = 1.4 ideal gas.
+    viscosity:
+        Artificial viscosity model.
+    cfl:
+        Courant factor for the stable-timestep estimate.
+    dt_growth:
+        Maximum ratio between consecutive timesteps (LULESH uses a
+        bounded growth of ~1.1 so the step opens up gently after the
+        blast).
+    dt_initial:
+        First timestep before any CFL information exists.
+    """
+
+    def __init__(
+        self,
+        mesh: RadialMesh,
+        eos: IdealGasEOS = None,
+        viscosity: ArtificialViscosity = None,
+        *,
+        cfl: float = 0.3,
+        dt_growth: float = 1.1,
+        dt_initial: float = 1.0e-7,
+    ) -> None:
+        if cfl <= 0 or cfl >= 1:
+            raise ConfigurationError(f"cfl must be in (0, 1), got {cfl}")
+        if dt_growth <= 1.0:
+            raise ConfigurationError(
+                f"dt_growth must exceed 1, got {dt_growth}"
+            )
+        if dt_initial <= 0:
+            raise ConfigurationError(
+                f"dt_initial must be positive, got {dt_initial}"
+            )
+        self.mesh = mesh
+        self.eos = eos or IdealGasEOS()
+        self.viscosity = viscosity or ArtificialViscosity()
+        self.cfl = cfl
+        self.dt_growth = dt_growth
+        self.dt = dt_initial
+        self.time = 0.0
+        self.cycle = 0
+        self._sync_eos()
+
+    def _sync_eos(self) -> None:
+        self.mesh.pressure = self.eos.pressure(self.mesh.density, self.mesh.energy)
+
+    # ------------------------------------------------------------------
+    # LULESH-style phases
+    # ------------------------------------------------------------------
+
+    def time_increment(self) -> float:
+        """CFL-limited timestep with bounded growth (``TimeIncrement``)."""
+        mesh = self.mesh
+        cs = self.eos.sound_speed(mesh.density, mesh.pressure)
+        du = np.abs(np.diff(mesh.u))
+        # Signal speed includes the viscous wave speed across the element.
+        signal = cs + 4.0 * du + 1.0e-30
+        dt_cfl = self.cfl * float(np.min(mesh.element_widths() / signal))
+        new_dt = min(dt_cfl, self.dt * self.dt_growth)
+        if not np.isfinite(new_dt) or new_dt <= 0.0:
+            raise SimulationError(f"timestep collapsed to {new_dt!r}")
+        self.dt = new_dt
+        return new_dt
+
+    def lagrange_leapfrog(self) -> None:
+        """Advance one step (``LagrangeLeapFrog``)."""
+        mesh = self.mesh
+        dt = self.dt
+
+        # -- nodal phase ------------------------------------------------
+        cs = self.eos.sound_speed(mesh.density, mesh.pressure)
+        mesh.q = self.viscosity.q(mesh.density, np.diff(mesh.u), cs)
+        total_p = mesh.pressure + mesh.q
+
+        accel = np.zeros_like(mesh.u)
+        area = FOUR_PI * mesh.r[1:-1] ** 2
+        accel[1:-1] = -area * (total_p[1:] - total_p[:-1]) / mesh.node_mass[1:-1]
+        # Centre node: reflective boundary, never moves.
+        accel[0] = 0.0
+        # Outer node: free surface (exterior pressure zero).
+        outer_area = FOUR_PI * mesh.r[-1] ** 2
+        accel[-1] = outer_area * total_p[-1] / mesh.node_mass[-1]
+
+        old_volume = mesh.volume.copy()
+        mesh.u += accel * dt
+        mesh.u[0] = 0.0
+        mesh.r += mesh.u * dt
+
+        # -- element phase ----------------------------------------------
+        mesh.update_geometry()
+        dV = mesh.volume - old_volume
+        # Compression work: de = -(p + q) dV / m  (half-old/half-new p
+        # would be implicit; explicit with q is the classic VNR scheme).
+        mesh.energy -= (total_p * dV) / mesh.mass
+        np.maximum(mesh.energy, 0.0, out=mesh.energy)
+        self._sync_eos()
+
+        self.time += dt
+        self.cycle += 1
+
+    def step(self) -> float:
+        """``TimeIncrement`` + ``LagrangeLeapFrog``; returns dt used."""
+        dt = self.time_increment()
+        self.lagrange_leapfrog()
+        return dt
+
+    # ------------------------------------------------------------------
+    # observables
+    # ------------------------------------------------------------------
+
+    def shock_radius(self) -> float:
+        """Radius of the pressure maximum — a proxy for the shock front."""
+        idx = int(np.argmax(self.mesh.pressure + self.mesh.q))
+        return float(self.mesh.element_centers()[idx])
+
+    def wavefront_location(self, *, fraction: float = 0.01) -> int:
+        """Outermost element index whose speed exceeds ``fraction`` of peak."""
+        speeds = np.abs(self.mesh.u[1:])
+        peak = float(speeds.max())
+        if peak <= 0.0:
+            return 0
+        above = np.where(speeds >= fraction * peak)[0]
+        return int(above.max()) if above.size else 0

@@ -1,0 +1,126 @@
+"""Radial Lagrangian mesh for the spherically symmetric Sedov problem.
+
+The mesh stores node radii and velocities plus element (shell) masses,
+volumes, densities, energies and pressures.  Spherical shell geometry
+does all the volume bookkeeping:
+
+    V_i = (4*pi/3) * (r_{i+1}^3 - r_i^3)
+
+Nodes move with the material (Lagrangian), so element masses are fixed
+at construction and densities follow from the evolving volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+
+FOUR_PI = 4.0 * np.pi
+
+
+class RadialMesh:
+    """``n_elements`` spherical shells from the origin to ``outer_radius``.
+
+    Parameters
+    ----------
+    n_elements:
+        Number of radial elements (the paper's "domain size": 30/60/90).
+    outer_radius:
+        Physical extent; LULESH's cube edge (1.125) is the default.
+    density:
+        Uniform initial density.
+    energy:
+        Uniform initial specific internal energy (background).
+    """
+
+    def __init__(
+        self,
+        n_elements: int,
+        outer_radius: float = 1.125,
+        *,
+        density: float = 1.0,
+        energy: float = 1.0e-9,
+    ) -> None:
+        if n_elements < 2:
+            raise ConfigurationError(
+                f"n_elements must be >= 2, got {n_elements}"
+            )
+        if outer_radius <= 0:
+            raise ConfigurationError(
+                f"outer_radius must be positive, got {outer_radius}"
+            )
+        if density <= 0:
+            raise ConfigurationError(f"density must be positive, got {density}")
+        self.n_elements = n_elements
+        self.outer_radius = outer_radius
+        # Node-centred quantities (n_elements + 1 of them).
+        self.r = np.linspace(0.0, outer_radius, n_elements + 1)
+        self.u = np.zeros(n_elements + 1)
+        # Element-centred quantities.
+        self.volume = self._shell_volumes(self.r)
+        self.mass = density * self.volume.copy()
+        self.density = np.full(n_elements, float(density))
+        self.energy = np.full(n_elements, float(energy))
+        self.pressure = np.zeros(n_elements)
+        self.q = np.zeros(n_elements)
+        # Node masses: half of each adjacent element (standard lumping).
+        self.node_mass = self._lump_node_masses()
+
+    @staticmethod
+    def _shell_volumes(r: np.ndarray) -> np.ndarray:
+        return (FOUR_PI / 3.0) * np.diff(r**3)
+
+    def _lump_node_masses(self) -> np.ndarray:
+        node_mass = np.zeros(self.n_elements + 1)
+        node_mass[:-1] += 0.5 * self.mass
+        node_mass[1:] += 0.5 * self.mass
+        return node_mass
+
+    def update_geometry(self) -> None:
+        """Recompute volumes and densities after nodes moved.
+
+        Raises :class:`SimulationError` on tangled meshes (non-monotone
+        radii) or non-positive volumes, which signal a timestep blow-up.
+        """
+        if np.any(np.diff(self.r) <= 0.0):
+            raise SimulationError(
+                "mesh tangled: node radii are no longer monotone"
+            )
+        self.volume = self._shell_volumes(self.r)
+        if np.any(self.volume <= 0.0):
+            raise SimulationError("non-positive element volume")
+        self.density = self.mass / self.volume
+
+    def element_centers(self) -> np.ndarray:
+        """Mid-radius of each element."""
+        return 0.5 * (self.r[:-1] + self.r[1:])
+
+    def element_widths(self) -> np.ndarray:
+        """Radial width of each element (CFL length scale)."""
+        return np.diff(self.r)
+
+    def deposit_energy(self, total_energy: float, n_inner: int = 1) -> None:
+        """Deposit blast energy uniformly into the innermost elements.
+
+        This is the Sedov initialisation: LULESH sets a large energy in
+        the origin element; distributing over ``n_inner`` elements keeps
+        the early timestep from collapsing at high resolution.
+        """
+        if total_energy <= 0:
+            raise ConfigurationError(
+                f"total_energy must be positive, got {total_energy}"
+            )
+        if not 1 <= n_inner <= self.n_elements:
+            raise ConfigurationError(
+                f"n_inner must be in [1, {self.n_elements}], got {n_inner}"
+            )
+        inner_mass = float(np.sum(self.mass[:n_inner]))
+        self.energy[:n_inner] += total_energy / inner_mass
+
+    def total_energy(self) -> float:
+        """Total (internal + kinetic) energy — conserved by the scheme."""
+        internal = float(np.sum(self.mass * self.energy))
+        # Kinetic energy with lumped node masses.
+        kinetic = 0.5 * float(np.sum(self.node_mass * self.u**2))
+        return internal + kinetic

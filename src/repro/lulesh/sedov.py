@@ -1,0 +1,62 @@
+"""Analytic Sedov–Taylor reference solution.
+
+The self-similar point-blast solution gives the shock radius
+
+    R(t) = xi0 * (E * t^2 / rho0) ** (1/5)
+
+with ``xi0`` a gamma-dependent constant (~1.1527 for gamma = 1.4 in
+spherical geometry).  The solver's shock trajectory is verified against
+this in the test suite — the standard correctness check for any Sedov
+implementation, LULESH included.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def sedov_constant(gamma: float = 1.4) -> float:
+    """Dimensionless shock-position constant ``xi0`` (spherical).
+
+    Energy-integral approximation calibrated against the tabulated
+    exact solution: xi0 = 1.0328 for gamma = 1.4 and 1.1517 for
+    gamma = 5/3 (Sedov 1959).  The closed form below reproduces both
+    anchors to ~1%.
+    """
+    if gamma <= 1.0:
+        raise ConfigurationError(f"gamma must exceed 1, got {gamma}")
+    base = (
+        75.0 / (16.0 * np.pi) * (gamma - 1.0) * (gamma + 1.0) ** 2
+        / (3.0 * gamma - 1.0)
+    ) ** 0.2
+    # Multiplicative calibration anchored at the gamma = 1.4 exact value.
+    return float(base * (1.0328 / 1.0144))
+
+
+def shock_radius(
+    time: float, energy: float, density: float = 1.0, gamma: float = 1.4
+) -> float:
+    """Analytic shock radius at ``time`` for blast ``energy``."""
+    if time < 0:
+        raise ConfigurationError(f"time must be >= 0, got {time}")
+    if energy <= 0 or density <= 0:
+        raise ConfigurationError("energy and density must be positive")
+    return sedov_constant(gamma) * (energy * time**2 / density) ** 0.2
+
+
+def shock_speed(
+    time: float, energy: float, density: float = 1.0, gamma: float = 1.4
+) -> float:
+    """Analytic shock speed dR/dt (diverges at t=0)."""
+    if time <= 0:
+        raise ConfigurationError(f"time must be positive, got {time}")
+    return 0.4 * shock_radius(time, energy, density, gamma) / time
+
+
+def post_shock_velocity(
+    time: float, energy: float, density: float = 1.0, gamma: float = 1.4
+) -> float:
+    """Material speed just behind the shock: ``2/(gamma+1) * dR/dt``."""
+    return 2.0 / (gamma + 1.0) * shock_speed(time, energy, density, gamma)

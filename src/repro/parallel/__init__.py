@@ -1,0 +1,20 @@
+"""Simulated MPI/OpenMP substrate.
+
+The paper runs on real MPI ranks and OpenMP threads; this package
+replaces them with a deterministic in-process simulation whose
+communication costs come from an analytic model and are *charged* to a
+ledger, so the experiment harness can report the same overhead ratios
+the paper measures (see DESIGN.md §2 for the substitution rationale).
+"""
+
+from repro.parallel.comm import SimComm
+from repro.parallel.cost_model import CommCostModel, ThreadingModel
+from repro.parallel.decomposition import BlockDecomposition, processor_grid
+
+__all__ = [
+    "BlockDecomposition",
+    "CommCostModel",
+    "SimComm",
+    "ThreadingModel",
+    "processor_grid",
+]

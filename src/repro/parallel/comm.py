@@ -1,0 +1,161 @@
+"""A simulated MPI communicator with an accounted cost model.
+
+The feature-extraction library needs exactly three things from MPI: a
+rank/size identity, a broadcast of small status payloads, and
+occasionally an allreduce of a scalar.  :class:`SimComm` provides those
+over in-process Python objects while *charging* each call's modelled
+wall-clock cost to an internal ledger, so the experiment harness can
+fold communication time into the measured overhead the way the paper's
+real MPI runs do.
+
+The communicator is deliberately synchronous and deterministic: a
+broadcast deposits the payload into every rank's mailbox immediately
+and advances the shared simulated clock by the tree cost.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CommunicatorError
+from repro.parallel.cost_model import CommCostModel
+
+
+class SimComm:
+    """Simulated communicator covering ``size`` ranks.
+
+    A single :class:`SimComm` object stands for the whole communicator;
+    rank-specific views come from :meth:`view`.  All modelled time lands
+    in :attr:`charged_seconds`.
+
+    Parameters
+    ----------
+    size:
+        Number of ranks.
+    cost_model:
+        Communication cost model; defaults to intra-node parameters.
+    rank:
+        The rank this view acts as (0 for the root view).
+    """
+
+    def __init__(
+        self,
+        size: int,
+        cost_model: Optional[CommCostModel] = None,
+        *,
+        rank: int = 0,
+        _shared: Optional[dict] = None,
+    ) -> None:
+        if size <= 0:
+            raise CommunicatorError(f"size must be positive, got {size}")
+        if not 0 <= rank < size:
+            raise CommunicatorError(
+                f"rank must be in [0, {size}), got {rank}"
+            )
+        self.size = size
+        self.rank = rank
+        self.cost_model = cost_model or CommCostModel()
+        # Shared state between all rank views of the same communicator.
+        self._shared = _shared if _shared is not None else {
+            "charged_seconds": 0.0,
+            "broadcasts": 0,
+            "allreduces": 0,
+            "mailboxes": [[] for _ in range(size)],
+        }
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def view(self, rank: int) -> "SimComm":
+        """A view of this communicator acting as ``rank``."""
+        return SimComm(
+            self.size, self.cost_model, rank=rank, _shared=self._shared
+        )
+
+    # ------------------------------------------------------------------
+    # collectives
+    # ------------------------------------------------------------------
+
+    def broadcast(self, payload: Any, root: int = 0) -> Any:
+        """Deliver ``payload`` from ``root`` to every rank's mailbox.
+
+        Returns the payload (as MPI_Bcast does on every rank).  The
+        modelled cost covers the pickled payload size through a
+        binomial tree.
+        """
+        self._check_rank(root)
+        size_bytes = len(pickle.dumps(payload))
+        cost = self.cost_model.broadcast(size_bytes, self.size)
+        self._charge(cost)
+        self._shared["broadcasts"] += 1
+        for mailbox in self._shared["mailboxes"]:
+            mailbox.append(payload)
+        return payload
+
+    def allreduce(self, value: float, op: str = "sum") -> float:
+        """Reduce a scalar across ranks.
+
+        With a single in-process producer the reduction over "all ranks"
+        sees the same value from each; ``sum`` multiplies by size,
+        ``max``/``min`` return the value.  The point of the call is the
+        charged cost, which matches a real allreduce of one double.
+        """
+        reducers = {
+            "sum": lambda v: v * self.size,
+            "max": lambda v: v,
+            "min": lambda v: v,
+        }
+        if op not in reducers:
+            raise CommunicatorError(
+                f"unsupported reduction {op!r}; expected one of {sorted(reducers)}"
+            )
+        cost = self.cost_model.allreduce(8, self.size)
+        self._charge(cost)
+        self._shared["allreduces"] += 1
+        return reducers[op](float(value))
+
+    def barrier(self) -> None:
+        """Synchronisation point: charged as a zero-byte allreduce."""
+        self._charge(self.cost_model.allreduce(0, self.size))
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    @property
+    def charged_seconds(self) -> float:
+        """Total modelled communication time so far."""
+        return self._shared["charged_seconds"]
+
+    @property
+    def broadcast_count(self) -> int:
+        return self._shared["broadcasts"]
+
+    @property
+    def allreduce_count(self) -> int:
+        return self._shared["allreduces"]
+
+    def mailbox(self, rank: Optional[int] = None) -> List[Any]:
+        """Payloads delivered to ``rank`` (default: this view's rank)."""
+        target = self.rank if rank is None else rank
+        self._check_rank(target)
+        return list(self._shared["mailboxes"][target])
+
+    def reset_accounting(self) -> None:
+        """Zero the charged-time ledger (mailboxes are kept)."""
+        self._shared["charged_seconds"] = 0.0
+        self._shared["broadcasts"] = 0
+        self._shared["allreduces"] = 0
+
+    # ------------------------------------------------------------------
+
+    def _charge(self, seconds: float) -> None:
+        self._shared["charged_seconds"] += seconds
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise CommunicatorError(
+                f"rank {rank} out of range for size {self.size}"
+            )

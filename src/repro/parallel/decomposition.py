@@ -1,0 +1,99 @@
+"""Block domain decomposition across simulated ranks.
+
+LULESH decomposes its cube over a 3-D processor grid (1, 8 and 27 ranks
+are 1x1x1, 2x2x2 and 3x3x3).  For the radial feature-extraction view
+the relevant mapping is one dimension: which rank owns a given radial
+location, because that rank is the "MPI rank indicating the location of
+the wave front" in the status broadcasts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def processor_grid(n_ranks: int) -> Tuple[int, int, int]:
+    """Factor ``n_ranks`` into the most cubic 3-D grid (LULESH-style).
+
+    LULESH requires a perfect cube of ranks; we accept any count and
+    return the factorisation with the smallest spread.
+    """
+    if n_ranks <= 0:
+        raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
+    best = (n_ranks, 1, 1)
+    best_spread = n_ranks - 1
+    for a in range(1, int(round(n_ranks ** (1 / 3))) + 2):
+        if n_ranks % a:
+            continue
+        rest = n_ranks // a
+        for b in range(a, int(rest**0.5) + 1):
+            if rest % b:
+                continue
+            c = rest // b
+            spread = c - a
+            if spread < best_spread:
+                best_spread = spread
+                best = (a, b, c)
+    return tuple(sorted(best))  # type: ignore[return-value]
+
+
+@dataclass(frozen=True)
+class BlockDecomposition:
+    """1-D block split of ``n_items`` locations over ``n_ranks`` ranks."""
+
+    n_items: int
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_items <= 0:
+            raise ConfigurationError(
+                f"n_items must be positive, got {self.n_items}"
+            )
+        if self.n_ranks <= 0:
+            raise ConfigurationError(
+                f"n_ranks must be positive, got {self.n_ranks}"
+            )
+
+    def owner(self, index: int) -> int:
+        """Rank owning location ``index`` (0-based)."""
+        if not 0 <= index < self.n_items:
+            raise ConfigurationError(
+                f"index {index} out of range [0, {self.n_items})"
+            )
+        base = self.n_items // self.n_ranks
+        extra = self.n_items % self.n_ranks
+        # First `extra` ranks own (base + 1) items each.
+        boundary = extra * (base + 1)
+        if index < boundary:
+            return index // (base + 1)
+        return extra + (index - boundary) // base if base else self.n_ranks - 1
+
+    def slice_for(self, rank: int) -> slice:
+        """Half-open index range owned by ``rank``."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigurationError(
+                f"rank {rank} out of range [0, {self.n_ranks})"
+            )
+        base = self.n_items // self.n_ranks
+        extra = self.n_items % self.n_ranks
+        start = rank * base + min(rank, extra)
+        stop = start + base + (1 if rank < extra else 0)
+        return slice(start, stop)
+
+    def counts(self) -> List[int]:
+        """Items per rank, in rank order."""
+        return [
+            self.slice_for(r).stop - self.slice_for(r).start
+            for r in range(self.n_ranks)
+        ]
+
+    def owners(self) -> np.ndarray:
+        """Owner rank of every location, vectorised."""
+        return np.array(
+            [self.owner(i) for i in range(self.n_items)], dtype=np.int64
+        )

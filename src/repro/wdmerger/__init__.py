@@ -1,0 +1,83 @@
+"""Castro-wdmerger-like binary white dwarf merger simulator.
+
+GW inspiral → unstable Roche-lobe mass transfer → disruption →
+remnant heating → carbon detonation, with per-step diagnostics (max
+temperature, total angular momentum, bound mass, total energy)
+integrated on a 3-D grid of configurable resolution.  See DESIGN.md §2
+for the substitution rationale against the real Castro code.
+"""
+
+from repro.wdmerger.binary import Binary, roche_lobe_radius
+from repro.wdmerger.burning import BurningModel, ThermalState
+from repro.wdmerger.constants import (
+    C_LIGHT,
+    G,
+    M_CHANDRASEKHAR,
+    T_CORE_COLD,
+    T_IGNITION,
+)
+from repro.wdmerger.detonation import (
+    delay_time_features,
+    delay_time_from_series,
+)
+from repro.wdmerger.diagnostics import (
+    DIAGNOSTIC_NAMES,
+    DiagnosticHistory,
+    DiagnosticSample,
+    diagnostic_provider,
+)
+from repro.wdmerger.gravwave import (
+    angular_momentum_loss_rate,
+    merge_timescale,
+    separation_decay_rate,
+)
+from repro.wdmerger.grid import DiagnosticGrid
+from repro.wdmerger.mass_transfer import (
+    Q_CRITICAL,
+    apply_transfer,
+    is_unstable,
+    transfer_rate,
+)
+from repro.wdmerger.merger import (
+    MergerEvents,
+    PHASE_DETONATED,
+    PHASE_DISRUPTION,
+    PHASE_INSPIRAL,
+    PHASE_REMNANT,
+    WdMergerSimulation,
+)
+from repro.wdmerger.wd import WhiteDwarf, wd_radius
+
+__all__ = [
+    "Binary",
+    "BurningModel",
+    "C_LIGHT",
+    "DIAGNOSTIC_NAMES",
+    "DiagnosticGrid",
+    "DiagnosticHistory",
+    "DiagnosticSample",
+    "G",
+    "M_CHANDRASEKHAR",
+    "MergerEvents",
+    "PHASE_DETONATED",
+    "PHASE_DISRUPTION",
+    "PHASE_INSPIRAL",
+    "PHASE_REMNANT",
+    "Q_CRITICAL",
+    "T_CORE_COLD",
+    "T_IGNITION",
+    "ThermalState",
+    "WdMergerSimulation",
+    "WhiteDwarf",
+    "angular_momentum_loss_rate",
+    "apply_transfer",
+    "delay_time_features",
+    "delay_time_from_series",
+    "diagnostic_provider",
+    "is_unstable",
+    "merge_timescale",
+    "roche_lobe_radius",
+    "separation_decay_rate",
+    "transfer_rate",
+    "wd_radius",
+]

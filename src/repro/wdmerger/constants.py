@@ -1,0 +1,36 @@
+"""Code units and physical constants for the wdmerger simulator.
+
+We work in code units chosen so the numbers the feature extractor sees
+match the paper's figures: masses in solar masses, lengths in units of
+10^9 cm (a typical WD radius scale), and a time unit calibrated so the
+merger's delay-time lands in the paper's ~30-timestep regime.
+
+In these units the gravitational constant is 1 and the effective speed
+of light is small (:data:`C_LIGHT`), which compresses the
+gravitational-wave inspiral of a contact-scale binary into tens of time
+units — the standard trick for making GW-driven mergers simulable in a
+mini-app setting (a real 0.9+0.6 Msun binary at 0.02 Rsun takes ~1e3 s
+to merge; only the ratio of inspiral to burning timescales matters for
+the diagnostic curve shapes).
+"""
+
+# Gravitational constant (definition of the code units).
+G = 1.0
+
+# Effective speed of light controlling GW inspiral strength.  Calibrated
+# so the default binary (0.9 + 0.6 Msun starting near contact) merges
+# around t ~ 28 code-time units (see merger.py defaults).
+C_LIGHT = 2.15
+
+# Chandrasekhar mass in solar masses.
+M_CHANDRASEKHAR = 1.44
+
+# Radius scale of the Nauenberg mass-radius relation, in code length
+# units (10^9 cm): R ~ 0.78e9 cm for a 1 Msun WD.
+R_WD_SCALE = 0.78
+
+# Carbon ignition temperature in code temperature units (10^9 K).
+T_IGNITION = 1.1
+
+# Background (pre-heating) WD core temperature, same units.
+T_CORE_COLD = 0.05

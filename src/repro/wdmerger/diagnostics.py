@@ -1,0 +1,100 @@
+"""Diagnostic time series recorded by the merger simulation.
+
+The four diagnostics of the paper's evaluation — maximum temperature,
+total angular momentum, bound mass, total energy — are sampled once per
+timestep from the diagnostic grid and stored here.  Providers at the
+bottom adapt them to the feature-extraction collector's
+``provider(domain, location)`` convention (they are domain-global
+scalars, so the location argument is ignored).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import CollectionError, ConfigurationError
+
+#: Canonical diagnostic names, in the order the paper lists them.
+DIAGNOSTIC_NAMES = ("temperature", "angular_momentum", "mass", "energy")
+
+
+@dataclass(frozen=True)
+class DiagnosticSample:
+    """One timestep's worth of diagnostics."""
+
+    time: float
+    temperature: float
+    angular_momentum: float
+    mass: float
+    energy: float
+
+    def value(self, name: str) -> float:
+        if name not in DIAGNOSTIC_NAMES:
+            raise ConfigurationError(
+                f"unknown diagnostic {name!r}; expected one of "
+                f"{DIAGNOSTIC_NAMES}"
+            )
+        return float(getattr(self, name))
+
+
+class DiagnosticHistory:
+    """Append-only store of :class:`DiagnosticSample` rows."""
+
+    def __init__(self) -> None:
+        self._samples: List[DiagnosticSample] = []
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def append(self, sample: DiagnosticSample) -> None:
+        if self._samples and sample.time <= self._samples[-1].time:
+            raise CollectionError(
+                f"sample at time {sample.time} arrived after "
+                f"{self._samples[-1].time}"
+            )
+        self._samples.append(sample)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array([s.time for s in self._samples])
+
+    def series(self, name: str) -> np.ndarray:
+        """Full time series of one diagnostic."""
+        if name not in DIAGNOSTIC_NAMES:
+            raise ConfigurationError(
+                f"unknown diagnostic {name!r}; expected one of "
+                f"{DIAGNOSTIC_NAMES}"
+            )
+        return np.array([s.value(name) for s in self._samples])
+
+    def all_series(self) -> Dict[str, np.ndarray]:
+        return {name: self.series(name) for name in DIAGNOSTIC_NAMES}
+
+    def normalized(self, name: str) -> np.ndarray:
+        """Zero-mean unit-variance series (Fig. 8's plotting scale)."""
+        values = self.series(name)
+        std = float(values.std())
+        if std == 0.0:
+            return values - float(values.mean())
+        return (values - float(values.mean())) / std
+
+
+def diagnostic_provider(name: str):
+    """Collector provider reading a diagnostic off the simulation domain.
+
+    The returned callable expects the domain object to expose the
+    diagnostic as an attribute of the same name (as
+    :class:`~repro.wdmerger.merger.WdMergerSimulation` does).
+    """
+    if name not in DIAGNOSTIC_NAMES:
+        raise ConfigurationError(
+            f"unknown diagnostic {name!r}; expected one of {DIAGNOSTIC_NAMES}"
+        )
+
+    def _provider(domain: object, location: int) -> float:
+        return float(getattr(domain, name))
+
+    return _provider

@@ -1,0 +1,115 @@
+"""In-situ detonation tracking with early termination for wdmerger.
+
+Extends :class:`~repro.core.curve_fitting.CurveFitting` with the
+delay-time stop rule of Section V: variable tracking watches the
+collected diagnostic's gradient for the detonation inflection; once the
+inflection has been confirmed by a trailing window of samples *and* the
+model has converged, the simulation can stop — the source of the
+paper's 48–67% acceleration, which grows with resolution because the
+confirmation window is a fixed number of samples and finer grids take
+shorter timesteps.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.events import ACTION_TERMINATE, StatusBroadcast
+from repro.core.features import DelayTimeFeature
+from repro.core.tracking import detect_gradient_break
+from repro.errors import ConfigurationError
+from repro.wdmerger.diagnostics import diagnostic_provider
+
+
+class DetonationAnalysis(CurveFitting):
+    """Curve fitting + inflection tracking + early stop for one diagnostic.
+
+    Parameters (beyond :class:`CurveFitting`)
+    ----------
+    variable:
+        Diagnostic name (``temperature``, ``angular_momentum``,
+        ``mass`` or ``energy``).
+    confirm_samples:
+        Collected samples that must follow a candidate inflection
+        before it counts as confirmed.
+    min_relative_jump:
+        The candidate's curvature must exceed this multiple of the
+        median curvature to count as the detonation (rejects noise).
+    """
+
+    def __init__(
+        self,
+        spatial,
+        temporal,
+        *,
+        variable: str,
+        confirm_samples: int = 10,
+        min_relative_jump: float = 8.0,
+        dt: float = 1.0,
+        **kwargs,
+    ) -> None:
+        if confirm_samples <= 0:
+            raise ConfigurationError(
+                f"confirm_samples must be positive, got {confirm_samples}"
+            )
+        kwargs.setdefault("axis", "time")
+        kwargs.setdefault("name", f"detonation_{variable}")
+        # Diagnostics with a violent transition keep a few percent of
+        # unexplained variance; 95% explained is "trained" here.
+        kwargs.setdefault("accuracy_threshold", 0.05)
+        super().__init__(
+            diagnostic_provider(variable), spatial, temporal, **kwargs
+        )
+        self.variable = variable
+        self.confirm_samples = confirm_samples
+        self.min_relative_jump = min_relative_jump
+        self.dt = dt
+        self.delay_feature: Optional[DelayTimeFeature] = None
+
+    def on_iteration(self, domain, iteration):
+        before = len(self.collector.store)
+        event = super().on_iteration(domain, iteration)
+        collected = len(self.collector.store) > before
+        if collected and self.delay_feature is None and self.monitor.converged:
+            candidate = self._detect(iteration)
+            if candidate is not None:
+                self.delay_feature = candidate
+                if self.terminate_when_trained:
+                    self.wants_stop = True
+                event = StatusBroadcast(
+                    iteration=iteration,
+                    predicted_value=candidate.delay_time,
+                    wavefront_rank=0,
+                    action=(
+                        ACTION_TERMINATE if self.terminate_when_trained else 0
+                    ),
+                )
+        return event
+
+    def _detect(self, iteration: int) -> Optional[DelayTimeFeature]:
+        _, series = self.collector.store.series(
+            int(self.collector.store.locations[0])
+        )
+        if series.size < self.confirm_samples + 6:
+            return None
+        curvature = np.abs(np.diff(series, n=2))
+        if curvature.size == 0:
+            return None
+        peak_idx = int(np.argmax(curvature))
+        median = float(np.median(curvature)) + 1e-30
+        if curvature[peak_idx] < self.min_relative_jump * median:
+            return None
+        # Require the confirmation window after the candidate.
+        if (curvature.size - 1) - peak_idx < self.confirm_samples:
+            return None
+        index = detect_gradient_break(series, smooth_window=3)
+        stride = self.collector.temporal.step
+        delay = (self.collector.store.iterations[0] + index * stride) * self.dt
+        return DelayTimeFeature(
+            variable=self.variable,
+            delay_time=float(delay),
+            detected_at_iteration=iteration,
+        )

@@ -1,0 +1,65 @@
+"""Roche-lobe overflow mass transfer and its stability.
+
+Once the donor overfills its Roche lobe, mass flows at a rate steeply
+dependent on the overflow depth; for an n = 3/2 polytrope (a good model
+for the degenerate donor envelope),
+
+    Mdot = K * (DeltaR / R_donor)^3 * M_donor / P_orb
+
+Because a WD donor *expands* on mass loss (dR/dM < 0) while its Roche
+lobe shrinks for q above a critical ratio, transfer between comparable
+white dwarfs runs away on a few orbits — the dynamically unstable
+channel that produces a violent merger (Katz et al. 2016).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.wdmerger.binary import Binary
+
+
+#: Critical donor/accretor mass ratio above which transfer is unstable
+#: for degenerate donors (standard value for direct-impact WD accretion).
+Q_CRITICAL = 0.628
+
+
+def transfer_rate(binary: Binary, *, rate_constant: float = 40.0) -> float:
+    """Mass-transfer rate (solar masses / time unit) for the binary.
+
+    Zero while detached; grows as the cube of the fractional overflow
+    once the donor radius exceeds its Roche lobe.
+    """
+    if rate_constant <= 0:
+        raise ConfigurationError(
+            f"rate_constant must be positive, got {rate_constant}"
+        )
+    overflow = binary.roche_overflow()
+    if overflow <= 0.0:
+        return 0.0
+    donor = binary.secondary
+    depth = overflow / donor.radius
+    return rate_constant * depth**3 * donor.mass / binary.orbital_period
+
+
+def is_unstable(binary: Binary) -> bool:
+    """True when transfer is dynamically unstable (runaway merger)."""
+    return binary.mass_ratio > Q_CRITICAL
+
+
+def apply_transfer(binary: Binary, dm: float) -> float:
+    """Move ``dm`` from donor to accretor (conservative transfer).
+
+    Returns the mass actually moved (the donor cannot go below a small
+    floor, and the accretor is clamped under the Chandrasekhar mass by
+    :meth:`WhiteDwarf.accrete`).
+    """
+    if dm < 0:
+        raise ConfigurationError(f"dm must be >= 0, got {dm}")
+    floor = 0.05
+    movable = max(0.0, binary.secondary.mass - floor)
+    moved = min(dm, movable)
+    before = binary.primary.mass
+    binary.primary.accrete(moved)
+    accepted = binary.primary.mass - before
+    binary.secondary.mass -= accepted
+    return accepted

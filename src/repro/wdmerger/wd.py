@@ -1,0 +1,70 @@
+"""White dwarf structure: the mass–radius relation.
+
+Uses Nauenberg's analytic fit to the zero-temperature degenerate
+mass–radius relation:
+
+    R(M) = R0 * (M / Mch)^(-1/3) * sqrt(1 - (M / Mch)^(4/3))
+
+which captures the two behaviours the merger dynamics needs: radius
+*shrinks* as mass grows (so the accretor compresses and heats) and
+diverges toward zero as M approaches the Chandrasekhar mass (the
+collapse/detonation end point).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.wdmerger.constants import M_CHANDRASEKHAR, R_WD_SCALE
+
+
+def wd_radius(mass: float) -> float:
+    """Nauenberg radius (code units) of a WD of ``mass`` solar masses."""
+    if mass <= 0:
+        raise ConfigurationError(f"mass must be positive, got {mass}")
+    if mass >= M_CHANDRASEKHAR:
+        raise ConfigurationError(
+            f"mass {mass} exceeds the Chandrasekhar mass "
+            f"{M_CHANDRASEKHAR}; the star would collapse"
+        )
+    ratio = mass / M_CHANDRASEKHAR
+    return R_WD_SCALE * ratio ** (-1.0 / 3.0) * (1.0 - ratio ** (4.0 / 3.0)) ** 0.5
+
+
+@dataclass
+class WhiteDwarf:
+    """One white dwarf: mass plus structure derived from it.
+
+    ``temperature`` is the core temperature in code units; it evolves
+    during the merger (accretion heating, compression).
+    """
+
+    mass: float
+    temperature: float = 0.05
+
+    def __post_init__(self) -> None:
+        # Validates the mass range as a side effect.
+        wd_radius(self.mass)
+        if self.temperature < 0:
+            raise ConfigurationError(
+                f"temperature must be >= 0, got {self.temperature}"
+            )
+
+    @property
+    def radius(self) -> float:
+        return wd_radius(self.mass)
+
+    @property
+    def mean_density(self) -> float:
+        """Mean density in code units (mass / volume)."""
+        from numpy import pi
+
+        return self.mass / (4.0 / 3.0 * pi * self.radius**3)
+
+    def accrete(self, dm: float) -> None:
+        """Add ``dm`` of mass, clamped below the Chandrasekhar limit."""
+        if dm < 0:
+            raise ConfigurationError(f"dm must be >= 0, got {dm}")
+        ceiling = 0.999 * M_CHANDRASEKHAR
+        self.mass = min(self.mass + dm, ceiling)

@@ -1,0 +1,81 @@
+"""Tests for repro.core.early_stop."""
+
+import pytest
+
+from repro.core.early_stop import EarlyStopMonitor
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"accuracy_threshold": 0.0},
+            {"window": 0},
+            {"min_updates": -1},
+            {"patience": 0},
+        ],
+    )
+    def test_bad_args(self, kwargs):
+        threshold = kwargs.pop("accuracy_threshold", 0.01)
+        with pytest.raises(ConfigurationError):
+            EarlyStopMonitor(threshold, **kwargs)
+
+
+class TestConvergence:
+    def test_fires_after_sustained_low_loss(self):
+        monitor = EarlyStopMonitor(0.01, window=3, min_updates=3, patience=2)
+        fired = [monitor.observe(0.001) for _ in range(6)]
+        assert fired[-1]
+        assert monitor.converged
+
+    def test_needs_min_updates(self):
+        monitor = EarlyStopMonitor(0.01, window=2, min_updates=10, patience=1)
+        for _ in range(5):
+            assert not monitor.observe(0.0001)
+
+    def test_high_loss_resets_streak(self):
+        monitor = EarlyStopMonitor(0.01, window=2, min_updates=2, patience=3)
+        monitor.observe(0.001)
+        monitor.observe(0.001)
+        monitor.observe(5.0)  # blows the window mean
+        assert not monitor.converged
+        assert monitor._streak == 0
+
+    def test_latches_once_fired(self):
+        monitor = EarlyStopMonitor(0.01, window=2, min_updates=2, patience=1)
+        while not monitor.observe(0.001):
+            pass
+        assert monitor.observe(100.0)  # stays converged
+        assert monitor.converged
+
+    def test_fired_at_update_recorded(self):
+        monitor = EarlyStopMonitor(0.01, window=2, min_updates=2, patience=1)
+        count = 0
+        while not monitor.converged:
+            count += 1
+            monitor.observe(0.001)
+        assert monitor.fired_at_update == count
+
+    def test_recent_loss_mean(self):
+        monitor = EarlyStopMonitor(0.01, window=3)
+        assert monitor.recent_loss is None
+        monitor.observe(1.0)
+        monitor.observe(3.0)
+        assert monitor.recent_loss == pytest.approx(2.0)
+
+    def test_window_slides(self):
+        monitor = EarlyStopMonitor(0.01, window=2)
+        monitor.observe(10.0)
+        monitor.observe(1.0)
+        monitor.observe(1.0)
+        assert monitor.recent_loss == pytest.approx(1.0)
+
+    def test_reset(self):
+        monitor = EarlyStopMonitor(0.01, window=2, min_updates=1, patience=1)
+        monitor.observe(0.001)
+        monitor.observe(0.001)
+        monitor.reset()
+        assert not monitor.converged
+        assert monitor.recent_loss is None
+        assert monitor.fired_at_update is None

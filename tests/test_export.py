@@ -1,0 +1,56 @@
+"""Tests for CSV export of tables and figures."""
+
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.common import Table
+from repro.experiments.export import (
+    export_tables,
+    read_table_csv,
+    write_table_csv,
+)
+
+
+@pytest.fixture
+def sample_table():
+    table = Table("Sample", ["a", "b"])
+    table.add_row(1, "x")
+    table.add_row(2, "y")
+    return table
+
+
+class TestCsvRoundTrip:
+    def test_write_and_read(self, tmp_path, sample_table):
+        path = write_table_csv(sample_table, str(tmp_path / "t.csv"))
+        assert os.path.isfile(path)
+        back = read_table_csv(path)
+        assert back.headers == ["a", "b"]
+        assert back.rows == [("1", "x"), ("2", "y")]
+
+    def test_creates_missing_directory(self, tmp_path, sample_table):
+        path = write_table_csv(
+            sample_table, str(tmp_path / "deep" / "dir" / "t.csv")
+        )
+        assert os.path.isfile(path)
+
+    def test_read_missing_file(self):
+        with pytest.raises(ConfigurationError):
+            read_table_csv("/nonexistent/path.csv")
+
+    def test_read_empty_file(self, tmp_path):
+        empty = tmp_path / "empty.csv"
+        empty.write_text("")
+        with pytest.raises(ConfigurationError):
+            read_table_csv(str(empty))
+
+    def test_export_tables_maps_names(self, tmp_path, sample_table):
+        paths = export_tables(
+            {"Table I": sample_table, "Fig. 5": sample_table},
+            str(tmp_path),
+        )
+        assert set(paths) == {"Table I", "Fig. 5"}
+        for path in paths.values():
+            assert os.path.isfile(path)
+        assert paths["Table I"].endswith("table_i.csv")

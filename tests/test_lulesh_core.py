@@ -1,0 +1,216 @@
+"""Tests for the LULESH substrate: EOS, viscosity, mesh, hydro physics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.lulesh.eos import IdealGasEOS
+from repro.lulesh.hydro import SphericalLagrangianHydro
+from repro.lulesh.mesh import RadialMesh
+from repro.lulesh.sedov import (
+    post_shock_velocity,
+    sedov_constant,
+    shock_radius,
+    shock_speed,
+)
+from repro.lulesh.viscosity import ArtificialViscosity
+
+
+class TestEOS:
+    def test_gamma_validation(self):
+        with pytest.raises(ConfigurationError):
+            IdealGasEOS(gamma=1.0)
+
+    def test_pressure_gamma_law(self):
+        eos = IdealGasEOS(gamma=1.4)
+        p = eos.pressure(np.array([2.0]), np.array([3.0]))
+        assert p[0] == pytest.approx(0.4 * 2.0 * 3.0)
+
+    def test_pressure_floor(self):
+        eos = IdealGasEOS(pressure_floor=0.1)
+        p = eos.pressure(np.array([1.0]), np.array([-5.0]))
+        assert p[0] == 0.1
+
+    def test_sound_speed(self):
+        eos = IdealGasEOS(gamma=1.4)
+        cs = eos.sound_speed(np.array([1.0]), np.array([1.0]))
+        assert cs[0] == pytest.approx(np.sqrt(1.4))
+
+    def test_sound_speed_clamps_negative_pressure(self):
+        eos = IdealGasEOS()
+        cs = eos.sound_speed(np.array([1.0]), np.array([-1.0]))
+        assert cs[0] == 0.0
+
+
+class TestViscosity:
+    def test_coefficient_validation(self):
+        with pytest.raises(ConfigurationError):
+            ArtificialViscosity(quadratic=-1)
+
+    def test_active_only_under_compression(self):
+        visc = ArtificialViscosity()
+        rho = np.array([1.0, 1.0])
+        cs = np.array([1.0, 1.0])
+        q = visc.q(rho, np.array([-0.5, 0.5]), cs)
+        assert q[0] > 0.0
+        assert q[1] == 0.0
+
+    def test_quadratic_scaling(self):
+        visc = ArtificialViscosity(quadratic=2.0, linear=0.0)
+        rho = np.array([1.0])
+        cs = np.array([0.0])
+        q1 = visc.q(rho, np.array([-1.0]), cs)[0]
+        q2 = visc.q(rho, np.array([-2.0]), cs)[0]
+        assert q2 == pytest.approx(4.0 * q1)
+
+
+class TestMesh:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RadialMesh(1)
+        with pytest.raises(ConfigurationError):
+            RadialMesh(10, outer_radius=0)
+        with pytest.raises(ConfigurationError):
+            RadialMesh(10, density=0)
+
+    def test_volumes_sum_to_sphere(self):
+        mesh = RadialMesh(20, outer_radius=2.0)
+        total = mesh.volume.sum()
+        assert total == pytest.approx(4.0 / 3.0 * np.pi * 8.0, rel=1e-12)
+
+    def test_masses_from_density(self):
+        mesh = RadialMesh(10, density=3.0)
+        np.testing.assert_allclose(mesh.mass, 3.0 * mesh.volume)
+
+    def test_node_masses_lump_halves(self):
+        mesh = RadialMesh(10)
+        assert mesh.node_mass.sum() == pytest.approx(mesh.mass.sum())
+        assert mesh.node_mass[0] == pytest.approx(0.5 * mesh.mass[0])
+
+    def test_deposit_energy_conserves_total(self):
+        mesh = RadialMesh(10)
+        before = float(np.sum(mesh.mass * mesh.energy))
+        mesh.deposit_energy(2.5)
+        after = float(np.sum(mesh.mass * mesh.energy))
+        assert after - before == pytest.approx(2.5)
+
+    def test_deposit_validation(self):
+        mesh = RadialMesh(10)
+        with pytest.raises(ConfigurationError):
+            mesh.deposit_energy(0.0)
+        with pytest.raises(ConfigurationError):
+            mesh.deposit_energy(1.0, n_inner=11)
+
+    def test_tangled_mesh_detected(self):
+        mesh = RadialMesh(10)
+        mesh.r[3] = mesh.r[5]  # collapse two nodes
+        with pytest.raises(SimulationError):
+            mesh.update_geometry()
+
+    def test_element_geometry_helpers(self):
+        mesh = RadialMesh(10, outer_radius=1.0)
+        assert mesh.element_centers().shape == (10,)
+        np.testing.assert_allclose(mesh.element_widths(), 0.1)
+
+
+class TestHydro:
+    def test_parameter_validation(self):
+        mesh = RadialMesh(10)
+        with pytest.raises(ConfigurationError):
+            SphericalLagrangianHydro(mesh, cfl=0.0)
+        with pytest.raises(ConfigurationError):
+            SphericalLagrangianHydro(mesh, dt_growth=1.0)
+        with pytest.raises(ConfigurationError):
+            SphericalLagrangianHydro(mesh, dt_initial=0.0)
+
+    def _blast(self, n=30, steps=200):
+        mesh = RadialMesh(n)
+        mesh.deposit_energy(0.851)
+        hydro = SphericalLagrangianHydro(mesh)
+        for _ in range(steps):
+            hydro.step()
+        return hydro
+
+    def test_energy_conserved_within_tolerance(self):
+        mesh = RadialMesh(30)
+        mesh.deposit_energy(0.851)
+        hydro = SphericalLagrangianHydro(mesh)
+        initial = mesh.total_energy()
+        for _ in range(300):
+            hydro.step()
+        drift = abs(mesh.total_energy() - initial) / initial
+        assert drift < 0.05
+
+    def test_shock_moves_outward(self):
+        hydro = self._blast(steps=100)
+        r1 = hydro.shock_radius()
+        for _ in range(200):
+            hydro.step()
+        assert hydro.shock_radius() > r1
+
+    def test_dt_growth_bounded(self):
+        mesh = RadialMesh(20)
+        mesh.deposit_energy(0.851)
+        hydro = SphericalLagrangianHydro(mesh, dt_growth=1.1)
+        previous = hydro.dt
+        for _ in range(50):
+            hydro.time_increment()
+            assert hydro.dt <= previous * 1.1 + 1e-18
+            previous = hydro.dt
+            hydro.lagrange_leapfrog()
+
+    def test_centre_node_fixed(self):
+        hydro = self._blast(steps=150)
+        assert hydro.mesh.u[0] == 0.0
+        assert hydro.mesh.r[0] == 0.0
+
+    def test_density_stays_positive(self):
+        hydro = self._blast(steps=300)
+        assert np.all(hydro.mesh.density > 0)
+
+    def test_wavefront_location_monotone_threshold(self):
+        hydro = self._blast(steps=250)
+        loose = hydro.wavefront_location(fraction=0.001)
+        tight = hydro.wavefront_location(fraction=0.5)
+        assert loose >= tight
+
+
+class TestSedovAnalytic:
+    def test_constant_near_published_value(self):
+        # Spherical, gamma = 1.4: xi0 = 1.0328 (Sedov 1959 tables).
+        assert sedov_constant(1.4) == pytest.approx(1.0328, abs=0.02)
+        # gamma = 5/3 anchor within ~3%.
+        assert sedov_constant(5.0 / 3.0) == pytest.approx(1.1517, rel=0.03)
+
+    def test_radius_scales_t_two_fifths(self):
+        r1 = shock_radius(1.0, 1.0)
+        r2 = shock_radius(32.0, 1.0)
+        assert r2 / r1 == pytest.approx(32**0.4, rel=1e-9)
+
+    def test_speed_is_derivative(self):
+        eps = 1e-6
+        numeric = (shock_radius(2.0 + eps, 1.0) - shock_radius(2.0, 1.0)) / eps
+        assert shock_speed(2.0, 1.0) == pytest.approx(numeric, rel=1e-4)
+
+    def test_post_shock_velocity_fraction(self):
+        assert post_shock_velocity(1.0, 1.0, gamma=1.4) == pytest.approx(
+            shock_speed(1.0, 1.0) * 2.0 / 2.4
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            shock_radius(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            shock_speed(0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            sedov_constant(0.9)
+
+    def test_solver_tracks_analytic_shock(self):
+        # The headline physics check: simulated shock radius within
+        # ~12% of Sedov-Taylor at a late time.
+        from repro.lulesh import LuleshSimulation
+
+        sim = LuleshSimulation(30, maintain_field=False)
+        sim.run()
+        expected = shock_radius(sim.time, 0.851)
+        assert sim.hydro.shock_radius() == pytest.approx(expected, rel=0.12)

@@ -1,0 +1,185 @@
+"""Tests for repro.parallel (simulated comm, cost models, decomposition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CommunicatorError, ConfigurationError
+from repro.parallel.comm import SimComm
+from repro.parallel.cost_model import CommCostModel, ThreadingModel
+from repro.parallel.decomposition import BlockDecomposition, processor_grid
+
+
+class TestCommCostModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommCostModel(latency_s=-1)
+        with pytest.raises(ConfigurationError):
+            CommCostModel(bandwidth_bytes_per_s=0)
+
+    def test_point_to_point_linear_in_bytes(self):
+        model = CommCostModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert model.point_to_point(0) == pytest.approx(1e-6)
+        assert model.point_to_point(10**9) == pytest.approx(1.000001)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CommCostModel().point_to_point(-1)
+
+    def test_tree_stages(self):
+        model = CommCostModel()
+        assert model.tree_stages(1) == 0
+        assert model.tree_stages(2) == 1
+        assert model.tree_stages(8) == 3
+        assert model.tree_stages(27) == 5
+
+    def test_broadcast_free_on_single_rank(self):
+        assert CommCostModel().broadcast(1024, 1) == 0.0
+
+    def test_allreduce_is_two_broadcasts(self):
+        model = CommCostModel()
+        assert model.allreduce(8, 16) == pytest.approx(
+            2 * model.broadcast(8, 16)
+        )
+
+    @given(st.integers(1, 512), st.integers(1, 512))
+    @settings(max_examples=40)
+    def test_broadcast_monotone_in_ranks(self, a, b):
+        model = CommCostModel()
+        lo, hi = sorted((a, b))
+        assert model.broadcast(64, lo) <= model.broadcast(64, hi)
+
+
+class TestThreadingModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ThreadingModel(parallel_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ThreadingModel().speedup(0)
+        with pytest.raises(ConfigurationError):
+            ThreadingModel().scaled_time(-1.0, 2)
+
+    def test_single_thread_identity(self):
+        assert ThreadingModel().speedup(1) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_amdahl(self):
+        model = ThreadingModel(parallel_fraction=0.95)
+        assert model.speedup(4) < 4
+        assert model.speedup(10**6) == pytest.approx(20.0, rel=0.01)
+
+    def test_scaled_time_decreases(self):
+        model = ThreadingModel()
+        assert model.scaled_time(10.0, 4) < 10.0
+
+
+class TestSimComm:
+    def test_size_and_rank_validation(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(0)
+        with pytest.raises(CommunicatorError):
+            SimComm(4, rank=4)
+
+    def test_broadcast_delivers_to_all_mailboxes(self):
+        comm = SimComm(4)
+        comm.broadcast({"x": 1})
+        for rank in range(4):
+            assert comm.mailbox(rank) == [{"x": 1}]
+
+    def test_broadcast_charges_time(self):
+        comm = SimComm(8)
+        comm.broadcast("payload")
+        assert comm.charged_seconds > 0
+        assert comm.broadcast_count == 1
+
+    def test_single_rank_broadcast_free(self):
+        comm = SimComm(1)
+        comm.broadcast("payload")
+        assert comm.charged_seconds == 0.0
+
+    def test_bad_root_rejected(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(2).broadcast("x", root=5)
+
+    def test_allreduce_sum(self):
+        comm = SimComm(4)
+        assert comm.allreduce(2.0, "sum") == 8.0
+        assert comm.allreduce(2.0, "max") == 2.0
+        assert comm.allreduce_count == 2
+
+    def test_allreduce_bad_op(self):
+        with pytest.raises(CommunicatorError):
+            SimComm(2).allreduce(1.0, "xor")
+
+    def test_views_share_state(self):
+        comm = SimComm(4)
+        view = comm.view(2)
+        assert view.rank == 2
+        comm.broadcast("hello")
+        assert view.mailbox() == ["hello"]
+        assert view.charged_seconds == comm.charged_seconds
+
+    def test_barrier_charges(self):
+        comm = SimComm(4)
+        comm.barrier()
+        assert comm.charged_seconds > 0
+
+    def test_reset_accounting_keeps_mailboxes(self):
+        comm = SimComm(2)
+        comm.broadcast("x")
+        comm.reset_accounting()
+        assert comm.charged_seconds == 0.0
+        assert comm.broadcast_count == 0
+        assert comm.mailbox(0) == ["x"]
+
+
+class TestProcessorGrid:
+    @pytest.mark.parametrize(
+        "ranks,expected",
+        [(1, (1, 1, 1)), (8, (2, 2, 2)), (27, (3, 3, 3)), (64, (4, 4, 4))],
+    )
+    def test_perfect_cubes(self, ranks, expected):
+        assert processor_grid(ranks) == expected
+
+    def test_non_cube_factorisation(self):
+        grid = processor_grid(12)
+        assert np.prod(grid) == 12
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            processor_grid(0)
+
+
+class TestBlockDecomposition:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(0, 4)
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(4, 0)
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(4, 2).owner(4)
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(4, 2).slice_for(2)
+
+    @given(st.integers(1, 200), st.integers(1, 16))
+    @settings(max_examples=60)
+    def test_counts_partition_items(self, n_items, n_ranks):
+        decomp = BlockDecomposition(n_items, n_ranks)
+        counts = decomp.counts()
+        assert sum(counts) == n_items
+        assert max(counts) - min(counts) <= 1
+
+    @given(st.integers(1, 100), st.integers(1, 8))
+    @settings(max_examples=60)
+    def test_owner_consistent_with_slices(self, n_items, n_ranks):
+        decomp = BlockDecomposition(n_items, n_ranks)
+        for rank in range(n_ranks):
+            s = decomp.slice_for(rank)
+            for index in range(s.start, s.stop):
+                assert decomp.owner(index) == rank
+
+    def test_owners_vector(self):
+        decomp = BlockDecomposition(10, 3)
+        owners = decomp.owners()
+        assert owners.shape == (10,)
+        assert owners[0] == 0
+        assert owners[-1] == 2

@@ -1,0 +1,129 @@
+"""Tests for repro.core.params (IterParam windows)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import IterParam, as_iter_param
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_negative_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam(0, 10, -1)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam(0, 10, 0)
+
+    def test_end_before_begin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam(10, 5, 1)
+
+    def test_negative_begin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam(-1, 5, 1)
+
+    def test_single_point_window_allowed(self):
+        param = IterParam(5, 5, 1)
+        assert param.count == 1
+        assert param.matches(5)
+
+
+class TestMatches:
+    def test_paper_example_window(self):
+        # The paper's LULESH listing: td_iter_param_init(50, 373, 10).
+        param = IterParam(50, 373, 10)
+        assert param.matches(50)
+        assert param.matches(60)
+        assert param.matches(370)
+        assert not param.matches(371)
+        assert not param.matches(55)
+        assert not param.matches(49)
+        assert not param.matches(380)
+
+    def test_stride_one_matches_everything_inside(self):
+        param = IterParam(3, 7, 1)
+        assert [i for i in range(10) if param.matches(i)] == [3, 4, 5, 6, 7]
+
+    def test_indices_agree_with_matches(self):
+        param = IterParam(2, 29, 3)
+        indices = set(param.indices().tolist())
+        for i in range(40):
+            assert param.matches(i) == (i in indices)
+
+    def test_count_equals_len_indices(self):
+        param = IterParam(50, 373, 10)
+        assert param.count == len(param.indices())
+
+
+class TestClipped:
+    def test_clip_shrinks_window(self):
+        param = IterParam(0, 100, 5).clipped(47)
+        assert param.end == 47
+        assert param.begin == 0
+
+    def test_clip_beyond_end_is_noop(self):
+        param = IterParam(0, 100, 5)
+        assert param.clipped(200) is param
+
+    def test_clip_before_begin_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam(10, 100, 5).clipped(5)
+
+
+class TestFromFraction:
+    def test_forty_percent_of_total(self):
+        param = IterParam.from_fraction(1000, 0.4)
+        assert param.end == 399
+        assert param.begin == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam.from_fraction(100, 0.0)
+        with pytest.raises(ConfigurationError):
+            IterParam.from_fraction(100, 1.5)
+
+    def test_invalid_total_rejected(self):
+        with pytest.raises(ConfigurationError):
+            IterParam.from_fraction(0, 0.5)
+
+    def test_tiny_fraction_still_valid(self):
+        param = IterParam.from_fraction(10, 0.01, begin=2)
+        assert param.begin == 2
+        assert param.end >= param.begin
+
+
+class TestCoercion:
+    def test_tuple_coerced(self):
+        param = as_iter_param((1, 10, 2))
+        assert isinstance(param, IterParam)
+        assert (param.begin, param.end, param.step) == (1, 10, 2)
+
+    def test_iterparam_passthrough(self):
+        param = IterParam(1, 10, 2)
+        assert as_iter_param(param) is param
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ConfigurationError):
+            as_iter_param("nonsense")
+        with pytest.raises(ConfigurationError):
+            as_iter_param((1, 2))
+
+
+@given(
+    begin=st.integers(0, 100),
+    span=st.integers(0, 100),
+    step=st.integers(1, 20),
+)
+def test_property_all_indices_match(begin, span, step):
+    param = IterParam(begin, begin + span, step)
+    indices = param.indices()
+    assert len(indices) == param.count
+    assert all(param.matches(int(i)) for i in indices)
+    # Indices are evenly strided and inside the window.
+    assert indices[0] == begin
+    if len(indices) > 1:
+        assert set(np.diff(indices).tolist()) == {step}
+    assert indices[-1] <= begin + span

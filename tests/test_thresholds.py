@@ -1,0 +1,103 @@
+"""Tests for repro.core.thresholds (break-point / ROI search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.thresholds import ThresholdDetector, peak_profile
+from repro.errors import ConfigurationError
+
+
+@pytest.fixture
+def detector():
+    return ThresholdDetector(reference_value=10.0, max_location=30)
+
+
+class TestValidation:
+    def test_reference_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDetector(0.0, 30)
+
+    def test_max_location_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ThresholdDetector(1.0, 0)
+
+    def test_threshold_must_be_positive(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.absolute_threshold(0.0)
+
+    def test_profile_shape_mismatch(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.break_point([1, 2], [1.0], 0.1)
+
+    def test_empty_profile_rejected(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.break_point([], [], 0.1)
+
+    def test_locations_must_increase(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.break_point([1, 1, 2], [3.0, 2.0, 1.0], 0.1)
+
+
+class TestBreakPoint:
+    def test_threshold_crossing_in_middle(self, detector):
+        locations = list(range(1, 11))
+        profile = 10.0 * 0.5 ** np.arange(10)  # halves each step
+        result = detector.break_point(locations, profile, 0.1)  # cut = 1.0
+        # profile >= 1.0 at locations 1..4 (10,5,2.5,1.25).
+        assert result.radius == 4
+        assert result.threshold_value == pytest.approx(1.0)
+
+    def test_saturates_at_max_location_when_all_above(self, detector):
+        locations = list(range(1, 11))
+        profile = np.full(10, 9.0)
+        result = detector.break_point(locations, profile, 0.05)
+        assert result.radius == 30  # the paper's low-threshold overshoot
+
+    def test_all_below_returns_first_location(self, detector):
+        locations = list(range(1, 11))
+        profile = np.full(10, 0.001)
+        assert detector.break_point(locations, profile, 0.2).radius == 1
+
+    def test_absolute_values_used(self, detector):
+        locations = [1, 2, 3]
+        result = detector.break_point(locations, [-5.0, -3.0, -0.1], 0.2)
+        assert result.radius == 2
+
+
+class TestRefine:
+    def test_refines_outward_to_crossing(self, detector):
+        profile = {loc: 10.0 * 0.7**loc for loc in range(1, 31)}
+        result = detector.refine(
+            lambda loc: profile[loc], 0.1, start=1
+        )  # cut 1.0; 0.7^l*10 >= 1 until l=6 (0.82 at 7)
+        assert result.radius == 6
+
+    def test_refines_inward_when_starting_below(self, detector):
+        profile = {loc: 10.0 * 0.7**loc for loc in range(1, 31)}
+        result = detector.refine(lambda loc: profile[loc], 0.1, start=25)
+        assert result.radius in (6, 7)
+
+    def test_search_radius_validation(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.refine(lambda loc: 1.0, 0.1, start=1, search_radius=0)
+
+    def test_clamps_at_domain_edge(self, detector):
+        result = detector.refine(lambda loc: 100.0, 0.1, start=29)
+        assert result.radius == 30
+
+    def test_clamps_at_centre(self, detector):
+        result = detector.refine(lambda loc: 0.0001, 0.5, start=2)
+        assert result.radius == 1
+
+
+class TestPeakProfile:
+    def test_takes_max_over_time(self):
+        matrix = np.array([[1.0, -5.0], [3.0, 2.0], [0.5, 1.0]])
+        np.testing.assert_array_equal(peak_profile(matrix), [3.0, 5.0])
+
+    def test_requires_2d(self):
+        with pytest.raises(ConfigurationError):
+            peak_profile(np.ones(3))
+
+    def test_empty_matrix(self):
+        assert peak_profile(np.empty((0, 4))).shape == (4,)

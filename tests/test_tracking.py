@@ -1,0 +1,153 @@
+"""Tests for repro.core.tracking (variable tracking and inflections)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tracking import (
+    VariableTracker,
+    detect_gradient_break,
+    find_extrema,
+    find_inflections,
+    gradients,
+    smooth,
+)
+from repro.errors import ConfigurationError
+
+
+class TestVariableTracker:
+    def test_detects_peak_with_four_samples(self):
+        # The paper's k1,k2,k3 illustration: rising then falling.
+        tracker = VariableTracker()
+        assert tracker.feed(1.0) is None
+        assert tracker.feed(2.0) is None
+        assert tracker.feed(3.0) is None
+        event = tracker.feed(2.0)
+        assert event is not None
+        assert event.kind == "max"
+        assert event.value == 3.0
+        assert event.index == 2  # the third sample fed
+
+    def test_detects_minimum(self):
+        tracker = VariableTracker()
+        for v in (3.0, 2.0, 1.0):
+            tracker.feed(v)
+        event = tracker.feed(2.0)
+        assert event.kind == "min"
+        assert event.value == 1.0
+
+    def test_monotone_series_has_no_events(self):
+        tracker = VariableTracker()
+        for v in range(10):
+            assert tracker.feed(float(v)) is None
+        assert tracker.events == []
+
+    def test_min_gradient_suppresses_noise(self):
+        tracker = VariableTracker(min_gradient=0.5)
+        for v in (1.0, 1.1, 1.2, 1.1, 1.0):
+            tracker.feed(v)
+        assert tracker.events == []
+
+    def test_negative_min_gradient_rejected(self):
+        with pytest.raises(ConfigurationError):
+            VariableTracker(min_gradient=-1.0)
+
+    def test_reset(self):
+        tracker = VariableTracker()
+        for v in (1.0, 2.0, 3.0, 2.0):
+            tracker.feed(v)
+        tracker.reset()
+        assert tracker.events == []
+        assert tracker.feed(1.0) is None
+
+    def test_multiple_events_on_oscillation(self):
+        t = np.linspace(0, 4 * np.pi, 200)
+        events = find_extrema(np.sin(t))
+        kinds = [e.kind for e in events]
+        assert kinds.count("max") == 2
+        assert kinds.count("min") == 2
+
+
+class TestHelpers:
+    def test_gradients_length_and_values(self):
+        g = gradients([1.0, 3.0, 6.0])
+        np.testing.assert_array_equal(g, [2.0, 3.0])
+
+    def test_gradients_rejects_2d(self):
+        with pytest.raises(ConfigurationError):
+            gradients(np.ones((2, 2)))
+
+    def test_smooth_identity_window_one(self):
+        arr = np.array([1.0, 5.0, 2.0])
+        np.testing.assert_array_equal(smooth(arr, 1), arr)
+
+    def test_smooth_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            smooth([1.0], 0)
+
+    def test_smooth_preserves_length(self):
+        arr = np.random.default_rng(0).normal(0, 1, 37)
+        for window in (2, 3, 5, 8):
+            assert smooth(arr, window).shape == arr.shape
+
+    @given(
+        st.lists(st.floats(-100, 100), min_size=4, max_size=40),
+        st.integers(1, 6),
+    )
+    @settings(max_examples=50)
+    def test_smooth_constant_is_fixed_point(self, values, window):
+        arr = np.full(len(values), 3.25)
+        np.testing.assert_allclose(smooth(arr, window), arr)
+
+    def test_smooth_reduces_variance(self):
+        rng = np.random.default_rng(1)
+        arr = rng.normal(0, 1, 500)
+        assert smooth(arr, 5).var() < arr.var()
+
+
+class TestInflections:
+    def test_inflection_of_tanh_near_centre(self):
+        t = np.linspace(-3, 3, 121)
+        points = find_inflections(np.tanh(t))
+        assert points, "expected at least one inflection"
+        best = min(points, key=lambda p: abs(p.index - 60))
+        assert abs(best.index - 60) <= 2
+
+    def test_all_points_tagged_inflection(self):
+        t = np.linspace(-3, 3, 61)
+        for p in find_inflections(np.tanh(t)):
+            assert p.kind == "inflection"
+
+
+class TestGradientBreak:
+    def test_finds_piecewise_linear_kink(self):
+        # Slope 1 then slope 0 — kink at index 30.
+        series = np.concatenate([np.arange(31.0), np.full(30, 30.0)])
+        index = detect_gradient_break(series)
+        assert index == pytest.approx(30, abs=1.5)
+
+    def test_finds_detonation_like_jump(self):
+        # Flat, steep rise at 50, then plateau — the wdmerger shape.
+        series = np.concatenate(
+            [np.full(50, 0.05), 0.05 + 0.5 * np.arange(10), np.full(40, 5.0)]
+        )
+        index = detect_gradient_break(series)
+        assert 48 <= index <= 62
+
+    def test_short_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_gradient_break([1.0, 2.0, 3.0])
+
+    def test_search_from_skips_startup_transient(self):
+        series = np.concatenate(
+            [np.array([0.0, 10.0, 0.0]), np.zeros(20),
+             np.arange(0, 10.0, 0.5), np.full(20, 10.0)]
+        )
+        index = detect_gradient_break(series, search_from=6)
+        assert index > 6
+
+    def test_smoothing_changes_little_on_clean_data(self):
+        series = np.concatenate([np.arange(31.0), np.full(30, 30.0)])
+        raw = detect_gradient_break(series, smooth_window=1)
+        smoothed = detect_gradient_break(series, smooth_window=3)
+        assert abs(raw - smoothed) <= 2.0

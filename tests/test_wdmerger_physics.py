@@ -1,0 +1,321 @@
+"""Tests for wdmerger physics components: WD structure, binary, GW,
+mass transfer, burning, diagnostic grid."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.wdmerger import (
+    Binary,
+    BurningModel,
+    DiagnosticGrid,
+    M_CHANDRASEKHAR,
+    Q_CRITICAL,
+    T_IGNITION,
+    WhiteDwarf,
+    angular_momentum_loss_rate,
+    apply_transfer,
+    is_unstable,
+    merge_timescale,
+    roche_lobe_radius,
+    separation_decay_rate,
+    transfer_rate,
+    wd_radius,
+)
+
+
+class TestWdStructure:
+    def test_mass_validation(self):
+        with pytest.raises(ConfigurationError):
+            wd_radius(0.0)
+        with pytest.raises(ConfigurationError):
+            wd_radius(M_CHANDRASEKHAR)
+
+    @given(st.floats(0.2, 1.3), st.floats(0.2, 1.3))
+    @settings(max_examples=50)
+    def test_radius_decreases_with_mass(self, m1, m2):
+        lo, hi = sorted((m1, m2))
+        if hi - lo > 1e-6:
+            assert wd_radius(hi) < wd_radius(lo)
+
+    def test_radius_vanishes_toward_chandrasekhar(self):
+        assert wd_radius(1.43) < 0.2 * wd_radius(0.6)
+
+    def test_accrete_clamps_below_limit(self):
+        wd = WhiteDwarf(1.3)
+        wd.accrete(1.0)
+        assert wd.mass < M_CHANDRASEKHAR
+
+    def test_accrete_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WhiteDwarf(0.6).accrete(-0.1)
+
+    def test_mean_density_rises_with_mass(self):
+        assert WhiteDwarf(1.2).mean_density > WhiteDwarf(0.4).mean_density
+
+
+class TestBinary:
+    def _binary(self, m1=0.9, m2=0.6, a=2.5):
+        return Binary(WhiteDwarf(m1), WhiteDwarf(m2), a)
+
+    def test_primary_must_dominate(self):
+        with pytest.raises(ConfigurationError):
+            Binary(WhiteDwarf(0.5), WhiteDwarf(0.9), 2.0)
+
+    def test_kepler_relation(self):
+        binary = self._binary()
+        omega = binary.angular_velocity
+        assert omega**2 * binary.separation**3 == pytest.approx(
+            binary.total_mass
+        )
+
+    def test_roche_lobe_eggleton_limits(self):
+        # Equal masses: r_L/a ~ 0.38.
+        assert roche_lobe_radius(1.0, 0.7, 0.7) == pytest.approx(0.38, abs=0.01)
+
+    def test_roche_validation(self):
+        with pytest.raises(ConfigurationError):
+            roche_lobe_radius(0.0, 0.5, 0.5)
+        with pytest.raises(ConfigurationError):
+            roche_lobe_radius(1.0, -0.5, 0.5)
+
+    def test_overflow_sign_flips_as_separation_shrinks(self):
+        wide = self._binary(a=5.0)
+        tight = self._binary(a=1.8)
+        assert wide.roche_overflow() < 0
+        assert tight.roche_overflow() > 0
+
+    def test_angular_momentum_positive_and_growing_with_a(self):
+        assert self._binary(a=3.0).orbital_angular_momentum > self._binary(
+            a=2.0
+        ).orbital_angular_momentum > 0
+
+    def test_orbital_energy_negative(self):
+        assert self._binary().orbital_energy < 0
+
+    def test_positions_respect_centre_of_mass(self):
+        binary = self._binary()
+        p1, p2 = binary.positions()
+        com = binary.primary.mass * p1 + binary.secondary.mass * p2
+        np.testing.assert_allclose(com, 0.0, atol=1e-12)
+
+    def test_velocities_orthogonal_to_radius(self):
+        binary = self._binary()
+        binary.phase = 0.7
+        p1, _ = binary.positions()
+        v1, _ = binary.velocities()
+        assert abs(np.dot(p1, v1)) < 1e-12
+
+    def test_advance_phase_wraps(self):
+        binary = self._binary()
+        binary.advance_phase(1e6)
+        assert 0 <= binary.phase < 2 * np.pi
+
+
+class TestGravWave:
+    def test_decay_rate_negative(self):
+        assert separation_decay_rate(2.0, 0.9, 0.6) < 0
+
+    def test_rate_steepens_at_small_separation(self):
+        assert abs(separation_decay_rate(1.0, 0.9, 0.6)) > abs(
+            separation_decay_rate(2.0, 0.9, 0.6)
+        )
+
+    def test_merge_timescale_quartic(self):
+        t1 = merge_timescale(1.0, 0.9, 0.6)
+        t2 = merge_timescale(2.0, 0.9, 0.6)
+        assert t2 / t1 == pytest.approx(16.0, rel=1e-9)
+
+    def test_j_loss_consistent_with_decay(self):
+        # dJ/dt = J/(2a) da/dt for circular orbits.
+        j_rate = angular_momentum_loss_rate(2.0, 0.9, 0.6)
+        assert j_rate < 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            separation_decay_rate(0.0, 0.9, 0.6)
+        with pytest.raises(ConfigurationError):
+            merge_timescale(-1.0, 0.9, 0.6)
+
+
+class TestMassTransfer:
+    def test_detached_binary_transfers_nothing(self):
+        binary = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 5.0)
+        assert transfer_rate(binary) == 0.0
+
+    def test_overflowing_binary_transfers(self):
+        binary = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 1.8)
+        assert transfer_rate(binary) > 0.0
+
+    def test_rate_grows_with_overflow_depth(self):
+        shallow = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 2.4)
+        deep = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 1.8)
+        assert transfer_rate(deep) > transfer_rate(shallow)
+
+    def test_instability_criterion(self):
+        assert is_unstable(Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 2.0))
+        assert not is_unstable(Binary(WhiteDwarf(1.0), WhiteDwarf(0.3), 2.0))
+        assert Q_CRITICAL < 1.0
+
+    def test_transfer_conserves_total_mass(self):
+        binary = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 2.0)
+        total = binary.total_mass
+        moved = apply_transfer(binary, 0.1)
+        assert moved == pytest.approx(0.1)
+        assert binary.total_mass == pytest.approx(total)
+
+    def test_donor_floor_respected(self):
+        binary = Binary(WhiteDwarf(0.9), WhiteDwarf(0.06), 2.0)
+        apply_transfer(binary, 1.0)
+        assert binary.secondary.mass >= 0.05 - 1e-9
+
+    def test_negative_dm_rejected(self):
+        binary = Binary(WhiteDwarf(0.9), WhiteDwarf(0.6), 2.0)
+        with pytest.raises(ConfigurationError):
+            apply_transfer(binary, -0.1)
+
+
+class TestBurning:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurningModel(accretion_efficiency=-1)
+        with pytest.raises(ConfigurationError):
+            BurningModel(ignition_temperature=0)
+
+    def test_no_burning_when_cold(self):
+        model = BurningModel()
+        state = model.rates(
+            0.1, accretion_luminosity=0.0, cold_temperature=0.05
+        )
+        assert state.burning == 0.0
+
+    def test_burning_steepens_with_temperature(self):
+        model = BurningModel()
+        low = model.rates(0.8, accretion_luminosity=0, cold_temperature=0.05)
+        high = model.rates(1.05, accretion_luminosity=0, cold_temperature=0.05)
+        assert high.burning > 3 * low.burning
+
+    def test_advance_heats_under_luminosity(self):
+        model = BurningModel()
+        after = model.advance(
+            0.1, 1.0, accretion_luminosity=1.0, cold_temperature=0.05
+        )
+        assert after > 0.1
+
+    def test_advance_respects_ceiling(self):
+        model = BurningModel()
+        t = 2.4 * T_IGNITION
+        after = model.advance(
+            t, 100.0, accretion_luminosity=10.0, cold_temperature=0.05
+        )
+        assert after <= 2.5 * T_IGNITION
+
+    def test_burning_can_be_disabled(self):
+        model = BurningModel()
+        hot = 1.05
+        with_burn = model.advance(
+            hot, 1.0, accretion_luminosity=0.0, cold_temperature=0.05
+        )
+        without = model.advance(
+            hot, 1.0, accretion_luminosity=0.0, cold_temperature=0.05,
+            burning_active=False,
+        )
+        assert with_burn > without
+
+    def test_detonated_threshold(self):
+        model = BurningModel()
+        assert model.detonated(T_IGNITION)
+        assert not model.detonated(0.9 * T_IGNITION)
+
+    def test_cooling_relaxes_to_cold(self):
+        model = BurningModel(cooling_rate=0.5, burning_prefactor=0.0)
+        after = model.advance(
+            0.5, 1.0, accretion_luminosity=0.0, cold_temperature=0.05
+        )
+        assert after < 0.5
+
+
+class TestDiagnosticGrid:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DiagnosticGrid(2)
+        with pytest.raises(ConfigurationError):
+            DiagnosticGrid(16, half_width=0)
+
+    def test_blob_mass_conserved_on_grid(self):
+        grid = DiagnosticGrid(24, half_width=3.0)
+        grid.deposit_blob(np.zeros(3), 1.5, 0.8, np.zeros(3))
+        assert grid.total_mass() == pytest.approx(1.5, rel=1e-6)
+
+    def test_offgrid_blob_loses_mass(self):
+        grid = DiagnosticGrid(16, half_width=2.0)
+        grid.deposit_blob(np.array([1.9, 0, 0]), 1.0, 0.8, np.zeros(3))
+        # Normalised against the on-grid sum, so the deposit itself is
+        # conserved; a blob centred off the grid entirely is dropped.
+        grid.clear()
+        grid.deposit_blob(np.array([50.0, 0, 0]), 1.0, 0.3, np.zeros(3))
+        assert grid.total_mass() == 0.0
+
+    def test_bulk_velocity_gives_linear_momentum_energy(self):
+        grid = DiagnosticGrid(24, half_width=3.0)
+        grid.deposit_blob(np.zeros(3), 2.0, 0.8, np.array([0.5, 0, 0]))
+        assert grid.kinetic_energy() == pytest.approx(
+            0.5 * 2.0 * 0.25, rel=0.05
+        )
+
+    def test_spinning_blob_carries_angular_momentum(self):
+        grid = DiagnosticGrid(32, half_width=3.0)
+        mass, radius, spin = 1.2, 0.9, 1.1
+        grid.deposit_blob(np.zeros(3), mass, radius, np.zeros(3), spin=spin)
+        # Gaussian blob planar inertia: M * 2 sigma^2 with sigma = R/2.
+        expected = spin * mass * 2 * (0.5 * radius) ** 2
+        assert grid.angular_momentum_z() == pytest.approx(expected, rel=0.1)
+
+    def test_orbiting_pair_angular_momentum_sign(self):
+        grid = DiagnosticGrid(32, half_width=3.0)
+        grid.deposit_blob(
+            np.array([1.0, 0, 0]), 1.0, 0.5, np.array([0, 0.4, 0])
+        )
+        grid.deposit_blob(
+            np.array([-1.0, 0, 0]), 1.0, 0.5, np.array([0, -0.4, 0])
+        )
+        assert grid.angular_momentum_z() > 0
+
+    def test_shell_mass_leaks_off_grid_as_it_expands(self):
+        grid = DiagnosticGrid(24, half_width=3.0)
+        grid.deposit_shell(np.zeros(3), 1.0, 1.0, 0.4, 0.1)
+        inner = grid.total_mass()
+        grid.clear()
+        grid.deposit_shell(np.zeros(3), 1.0, 3.4, 0.4, 0.1)
+        outer = grid.total_mass()
+        assert inner > 0.9
+        assert outer < 0.6 * inner
+
+    def test_shell_validation(self):
+        grid = DiagnosticGrid(16)
+        with pytest.raises(ConfigurationError):
+            grid.deposit_shell(np.zeros(3), -1.0, 1.0, 0.4, 0.1)
+        with pytest.raises(ConfigurationError):
+            grid.deposit_shell(np.zeros(3), 1.0, 1.0, 0.0, 0.1)
+
+    def test_gravity_potential_negative_well(self):
+        grid = DiagnosticGrid(24, half_width=3.0)
+        grid.deposit_blob(np.zeros(3), 1.0, 0.6, np.zeros(3))
+        energy = grid.gravitational_energy()
+        assert energy < 0.0
+
+    def test_mass_within_radius(self):
+        grid = DiagnosticGrid(24, half_width=3.0)
+        grid.deposit_blob(np.zeros(3), 1.0, 0.4, np.zeros(3))
+        assert grid.mass_within(2.0) == pytest.approx(1.0, rel=0.05)
+        assert grid.mass_within(0.2) < 1.0
+        with pytest.raises(ConfigurationError):
+            grid.mass_within(-1.0)
+
+    def test_clear_zeroes_fields(self):
+        grid = DiagnosticGrid(16)
+        grid.deposit_blob(np.zeros(3), 1.0, 0.5, np.array([1.0, 0, 0]))
+        grid.clear()
+        assert grid.total_mass() == 0.0
+        assert grid.kinetic_energy() == 0.0
