@@ -1,4 +1,4 @@
-"""Ablation benchmarks for the design choices DESIGN.md §5 calls out."""
+"""Ablation benchmarks for the design choices README.md calls out."""
 
 import numpy as np
 
@@ -9,26 +9,33 @@ from repro.core.tracking import detect_gradient_break
 from repro.experiments import (
     fit_error_full_run,
     lulesh_reference,
-    train_from_history,
+    train_many_from_history,
     wdmerger_reference,
 )
 
 
 def _sweep_batch_sizes():
-    """Mini-batch size vs fit quality and update count."""
+    """Mini-batch size vs fit quality and update count.
+
+    All batch sizes train in ONE shared-collection replay pass: the
+    engine samples each history row once and fans it out to the three
+    trainers.
+    """
     ref = lulesh_reference(30)
-    out = {}
-    for batch_size in (4, 16, 64):
-        analysis = train_from_history(
-            ref.history,
-            IterParam(1, 10, 1),
-            IterParam(50, int(0.4 * ref.total_iterations), 1),
-            order=3,
-            lag=10,
-            batch_size=batch_size,
-        )
-        out[batch_size] = (analysis.trainer.updates, analysis.fit_error())
-    return out
+    batch_sizes = (4, 16, 64)
+    analyses = train_many_from_history(
+        ref.history,
+        IterParam(1, 10, 1),
+        IterParam(50, int(0.4 * ref.total_iterations), 1),
+        [
+            dict(order=3, lag=10, batch_size=batch_size)
+            for batch_size in batch_sizes
+        ],
+    )
+    return {
+        batch_size: (analysis.trainer.updates, analysis.fit_error())
+        for batch_size, analysis in zip(batch_sizes, analyses)
+    }
 
 
 def test_ablation_batch_size(benchmark):

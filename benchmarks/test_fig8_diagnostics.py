@@ -2,7 +2,6 @@
 
 import numpy as np
 
-from benchmarks.conftest import emit
 from repro.experiments import fig8, wdmerger_reference
 
 

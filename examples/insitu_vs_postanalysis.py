@@ -11,7 +11,7 @@ Run:  python examples/insitu_vs_postanalysis.py
 
 from repro.analysis import PostHocAnalyzer
 from repro.core.params import IterParam
-from repro.core.region import Region
+from repro.engine import InSituEngine
 from repro.lulesh import LuleshSimulation
 from repro.lulesh.insitu import BreakPointAnalysis
 
@@ -46,19 +46,20 @@ def main():
 
     # --- in-situ method: no snapshots, early termination.
     sim2 = LuleshSimulation(size, maintain_field=False)
-    region = Region("lulesh", sim2.domain)
-    analysis = BreakPointAnalysis(
-        lambda domain, loc: domain.xd(loc),
-        IterParam(1, 10, 1),
-        IterParam(50, int(0.4 * result.iterations), 1),
-        threshold=threshold,
-        max_location=size,
-        lag=10,
-        order=3,
-        terminate_when_trained=True,
+    engine = InSituEngine(sim2, name="lulesh")
+    analysis = engine.add_analysis(
+        BreakPointAnalysis(
+            lambda domain, loc: domain.xd(loc),
+            IterParam(1, 10, 1),
+            IterParam(50, int(0.4 * result.iterations), 1),
+            threshold=threshold,
+            max_location=size,
+            lag=10,
+            order=3,
+            terminate_when_trained=True,
+        )
     )
-    region.add_analysis(analysis)
-    run = sim2.run(region)
+    run = engine.run()
     print("in-situ auto-regression:")
     print(f"  break-point radius       : {analysis.final_feature().radius}")
     print(f"  iterations executed      : {run.iterations} "

@@ -1,9 +1,13 @@
 """Material deformation analysis on the LULESH mini-app (paper Case 1).
 
 Extracts the material break-point radius for a range of velocity
-thresholds with the in-situ auto-regression method, terminating the
-simulation early once the model has converged and the feature is
-confirmed, then compares against the full-simulation ground truth.
+thresholds with the in-situ auto-regression method, then compares
+against the full-simulation ground truth.  All thresholds ride ONE
+instrumented simulation: they attach to a single
+:class:`~repro.engine.InSituEngine` under the ``all`` termination
+policy, the shared-collection layer samples the velocity window once
+per iteration, and each threshold's analysis freezes at its own
+early-stop point.
 
 Run:  python examples/material_deformation.py [size]
 """
@@ -11,9 +15,11 @@ Run:  python examples/material_deformation.py [size]
 import sys
 
 from repro.core.params import IterParam
-from repro.core.region import Region
+from repro.engine import InSituEngine
 from repro.lulesh import LuleshSimulation
 from repro.lulesh.insitu import BreakPointAnalysis
+
+THRESHOLDS = (0.002, 0.01, 0.05, 0.1, 0.2)
 
 
 def ground_truth(size):
@@ -25,23 +31,32 @@ def ground_truth(size):
     return sim, result
 
 
-def extract_break_point(size, threshold, total_iterations):
-    """In-situ extraction with early termination."""
+def _provider(domain, loc):
+    return domain.xd(loc)
+
+
+def extract_break_points(size, thresholds, total_iterations):
+    """In-situ extraction of every threshold in one shared run."""
     sim = LuleshSimulation(size, maintain_field=False)
-    region = Region("lulesh", sim.domain)
-    analysis = BreakPointAnalysis(
-        lambda domain, loc: domain.xd(loc),
-        IterParam(1, 10, 1),
-        IterParam(50, int(0.4 * total_iterations), 1),
-        threshold=threshold,
-        max_location=size,
-        lag=10,
-        order=3,
-        terminate_when_trained=True,
-    )
-    region.add_analysis(analysis)
-    result = sim.run(region)
-    return analysis.final_feature(), result
+    engine = InSituEngine(sim, policy="all", name="material-deformation")
+    analyses = {
+        threshold: engine.add_analysis(
+            BreakPointAnalysis(
+                _provider,
+                IterParam(1, 10, 1),
+                IterParam(50, int(0.4 * total_iterations), 1),
+                threshold=threshold,
+                max_location=size,
+                lag=10,
+                order=3,
+                terminate_when_trained=True,
+                name=f"threshold_{threshold:g}",
+            )
+        )
+        for threshold in thresholds
+    }
+    result = engine.run()
+    return analyses, result
 
 
 def main():
@@ -51,19 +66,28 @@ def main():
     peaks = truth_sim.peak_velocity_profile()
     v0 = truth_sim.blast_velocity
     print(f"full run: {truth_run.iterations} iterations, blast velocity {v0:.2f}")
+    analyses, result = extract_break_points(
+        size, THRESHOLDS, truth_run.iterations
+    )
+    shared = analyses[THRESHOLDS[0]].collector.store
+    assert all(a.collector.store is shared for a in analyses.values())
+    print(
+        f"in-situ sweep: one run, {result.iterations} iterations, "
+        f"{len(THRESHOLDS)} thresholds sharing one collection window"
+    )
     print()
     header = f"{'threshold':>10} {'truth':>6} {'extracted':>10} {'stopped at':>11}"
     print(header)
     print("-" * len(header))
-    for threshold in (0.002, 0.01, 0.05, 0.1, 0.2):
+    for threshold, analysis in analyses.items():
         cut = threshold * v0
         above = [i for i in range(1, size + 1) if peaks[i] >= cut]
         truth_radius = max(above) if above else 0
-        feature, run = extract_break_point(size, threshold, truth_run.iterations)
-        share = 100.0 * run.iterations / truth_run.iterations
+        stop = result.stopped_at.get(analysis.name, result.iterations)
+        share = 100.0 * stop / truth_run.iterations
         print(
             f"{100 * threshold:>9.1f}% {truth_radius:>6} "
-            f"{feature.radius:>10} {share:>10.1f}%"
+            f"{analysis.final_feature().radius:>10} {share:>10.1f}%"
         )
     print()
     print("low thresholds saturate at the domain edge; high thresholds")

@@ -12,7 +12,7 @@ Run:  python examples/wd_merger_dtd.py
 import numpy as np
 
 from repro.core.params import IterParam
-from repro.core.region import Region
+from repro.engine import InSituEngine
 from repro.wdmerger import (
     DIAGNOSTIC_NAMES,
     WdMergerSimulation,
@@ -27,22 +27,23 @@ def delay_times_for(resolution=16, **binary_kwargs):
         resolution, maintain_grid=False, **binary_kwargs
     )
     total = int(sim.end_time / sim.dt)
-    region = Region("wdmerger", sim)
-    analysis = DetonationAnalysis(
-        IterParam(0, 0, 1),
-        IterParam(1, total, 1),
-        variable="temperature",
-        dt=sim.dt,
-        order=3,
-        batch_size=4,
-        learning_rate=0.03,
-        min_updates=3,
-        monitor_window=3,
-        monitor_patience=1,
-        terminate_when_trained=True,
+    engine = InSituEngine(sim, name="wdmerger")
+    analysis = engine.add_analysis(
+        DetonationAnalysis(
+            IterParam(0, 0, 1),
+            IterParam(1, total, 1),
+            variable="temperature",
+            dt=sim.dt,
+            order=3,
+            batch_size=4,
+            learning_rate=0.03,
+            min_updates=3,
+            monitor_window=3,
+            monitor_patience=1,
+            terminate_when_trained=True,
+        )
     )
-    region.add_analysis(analysis)
-    sim.run(region)
+    engine.run()
     feature = analysis.delay_feature
     saved = 100.0 * (1.0 - sim.time / sim.end_time)
     return feature, sim.events, saved

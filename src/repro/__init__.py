@@ -13,6 +13,13 @@ The package is organised as:
     through both a Pythonic object API (:class:`repro.core.Region`) and
     the paper's C-style ``td_*`` facade (:mod:`repro.core.capi`).
 
+``repro.engine``
+    The in-situ engine: a unified ``SimulationApp`` workload
+    abstraction, shared data collection (each declared data window is
+    sampled once per iteration however many analyses subscribe), and a
+    multi-analysis scheduler with ``any``/``all``/``quorum``
+    termination policies (:class:`repro.engine.InSituEngine`).
+
 ``repro.lulesh``
     A LULESH-like Sedov blast hydrodynamics mini-app (Lagrangian,
     leapfrog, artificial viscosity) used for the material deformation
@@ -32,7 +39,8 @@ The package is organised as:
 
 ``repro.experiments``
     Drivers that regenerate every table and figure in the paper's
-    evaluation section (see DESIGN.md for the index).
+    evaluation section (see README.md for the architecture overview
+    and the experiment index).
 """
 
 from repro.core import (
@@ -57,6 +65,15 @@ from repro.core.capi import (
     td_region_end,
     td_region_init,
 )
+from repro.engine import (
+    InSituEngine,
+    LuleshApp,
+    ReplayApp,
+    SharedCollector,
+    SimulationApp,
+    WdMergerApp,
+    as_simulation_app,
+)
 from repro.errors import (
     CollectionError,
     ConfigurationError,
@@ -76,14 +93,21 @@ __all__ = [
     "Curve_Fitting",
     "DelayTimeFeature",
     "EarlyStopMonitor",
+    "InSituEngine",
     "IterParam",
+    "LuleshApp",
     "MiniBatch",
     "MiniBatchTrainer",
     "NotTrainedError",
     "Region",
+    "ReplayApp",
     "ReproError",
+    "SharedCollector",
+    "SimulationApp",
     "ThresholdDetector",
     "VariableTracker",
+    "WdMergerApp",
+    "as_simulation_app",
     "td_iter_param_init",
     "td_region_add_analysis",
     "td_region_begin",

@@ -22,7 +22,7 @@ Two pairing modes cover the paper's two case studies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -51,6 +51,11 @@ class SeriesStore:
     @property
     def iterations(self) -> np.ndarray:
         return np.asarray(self._iterations, dtype=np.int64)
+
+    @property
+    def last_iteration(self) -> Optional[int]:
+        """Iteration of the most recent row, or None when empty."""
+        return self._iterations[-1] if self._iterations else None
 
     def add_row(self, iteration: int, values: np.ndarray) -> None:
         if self._iterations and iteration <= self._iterations[-1]:
@@ -132,6 +137,15 @@ class DataCollector:
         temporal history of the point and its spatial neighbourhood —
         and is markedly more accurate on travelling waves; disable it
         for the strict neighbours-only form of the paper's equation.
+    store:
+        Optional :class:`SeriesStore` to collect into.  When several
+        collectors with the same provider and windows share one store
+        (see :class:`repro.engine.collection.SharedCollector`), the
+        first collector dispatched in an iteration samples the
+        simulation and every later one reuses the stored row, so the
+        provider runs at most once per (location, iteration).  Omitted,
+        the collector owns a private store — the original per-analysis
+        behaviour.
     """
 
     def __init__(
@@ -144,6 +158,7 @@ class DataCollector:
         lag: int = 1,
         axis: str = "space",
         include_self: bool = True,
+        store: Optional[SeriesStore] = None,
     ) -> None:
         if axis not in ("space", "time"):
             raise ConfigurationError(f"axis must be 'space' or 'time', got {axis!r}")
@@ -169,13 +184,52 @@ class DataCollector:
         self.axis = axis
         self.include_self = include_self
         self.order = order
-        self.store = SeriesStore(spatial.indices())
+        if store is None:
+            store = SeriesStore(spatial.indices())
+        elif not np.array_equal(store.locations, spatial.indices()):
+            raise ConfigurationError(
+                f"shared store covers locations {store.locations.tolist()} "
+                f"but the spatial window is {spatial.indices().tolist()}"
+            )
+        self.store = store
         self._samples_emitted = 0
+        self._rows_ingested = 0
+
+    def rebind_store(self, store: SeriesStore) -> None:
+        """Subscribe this collector to an existing (shared) store.
+
+        Only legal before this collector has collected anything; the
+        shared store's locations must match the spatial window exactly,
+        otherwise the reused rows would mean something different here.
+        """
+        if store is self.store:
+            return
+        if len(self.store):
+            raise ConfigurationError(
+                "cannot rebind a collector that has already collected rows"
+            )
+        if not np.array_equal(store.locations, self.store.locations):
+            raise ConfigurationError(
+                f"shared store covers locations {store.locations.tolist()} "
+                f"but this collector samples {self.store.locations.tolist()}"
+            )
+        self.store = store
 
     @property
     def samples_emitted(self) -> int:
         """Number of AR training samples pushed into the trainer."""
         return self._samples_emitted
+
+    @property
+    def rows_ingested(self) -> int:
+        """Rows THIS collector has processed (sampled or reused).
+
+        With a shared store ``len(collector.store)`` counts rows
+        collected by the whole group, so subclass hooks that need
+        "did I just collect a sample?" must use this per-collector
+        counter instead.
+        """
+        return self._rows_ingested
 
     @property
     def done(self) -> bool:
@@ -191,15 +245,30 @@ class DataCollector:
         """
         if not self.temporal.matches(iteration):
             return []
-        row = np.array(
-            [float(self.provider(domain, int(loc))) for loc in self.store.locations],
-            dtype=np.float64,
-        )
-        if not np.all(np.isfinite(row)):
-            raise CollectionError(
-                f"non-finite sample collected at iteration {iteration}"
+        if (
+            self.store.last_iteration == iteration
+            and self._rows_ingested < len(self.store)
+        ):
+            # A collector sharing this store already sampled this
+            # iteration; reuse the row instead of re-running the
+            # provider over the window.  The rows_ingested guard keeps
+            # a double observe() of the same iteration an error (via
+            # add_row below) rather than a silent duplicate emission.
+            row = self.store.row(-1)
+        else:
+            row = np.array(
+                [
+                    float(self.provider(domain, int(loc)))
+                    for loc in self.store.locations
+                ],
+                dtype=np.float64,
             )
-        self.store.add_row(iteration, row)
+            if not np.all(np.isfinite(row)):
+                raise CollectionError(
+                    f"non-finite sample collected at iteration {iteration}"
+                )
+            self.store.add_row(iteration, row)
+        self._rows_ingested += 1
         if self.axis == "space":
             return self._emit_spatial(iteration, row)
         return self._emit_temporal(iteration)

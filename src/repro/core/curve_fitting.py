@@ -12,7 +12,7 @@ the paper's accuracy tables.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

@@ -73,6 +73,32 @@ class MiniBatch:
         self._size += 1
         return self.full
 
+    def add_block(self, features: np.ndarray, targets: np.ndarray) -> int:
+        """Copy as many leading rows as fit; return the number accepted.
+
+        The block counterpart of :meth:`add`: rows land in the buffer
+        by array slicing rather than one ``add`` call each.  Unlike
+        :meth:`add`, a full buffer does not raise — zero rows are
+        accepted and the caller drains (trains + resets) before
+        offering the remainder again.
+        """
+        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        y = np.ravel(np.asarray(targets, dtype=np.float64))
+        if x.shape[1] != self.n_features:
+            raise ConfigurationError(
+                f"expected {self.n_features} features, got {x.shape[1]}"
+            )
+        if x.shape[0] != y.shape[0]:
+            raise ConfigurationError(
+                f"feature/target count mismatch: {x.shape[0]} vs {y.shape[0]}"
+            )
+        take = min(self.capacity - self._size, y.shape[0])
+        if take > 0:
+            self._x[self._size: self._size + take] = x[:take]
+            self._y[self._size: self._size + take] = y[:take]
+            self._size += take
+        return take
+
     def reset(self) -> None:
         """Empty the buffer for the next collection round."""
         self._size = 0
@@ -184,16 +210,11 @@ class MiniBatchTrainer:
             )
         losses: List[float] = []
         offset = 0
-        batch = self.batch
         while offset < y.shape[0]:
-            room = batch.capacity - len(batch)
-            take = min(room, y.shape[0] - offset)
-            batch._x[batch._size: batch._size + take] = x[offset: offset + take]
-            batch._y[batch._size: batch._size + take] = y[offset: offset + take]
-            batch._size += take
-            offset += take
-            self._samples_seen += take
-            if batch.full:
+            took = self.batch.add_block(x[offset:], y[offset:])
+            offset += took
+            self._samples_seen += took
+            if self.batch.full:
                 losses.append(self._train_and_reset())
         return losses
 

@@ -1,19 +1,26 @@
-"""Region: the execution-side orchestrator wrapping the simulation loop.
+"""Region: compatibility wrapper around the engine's analysis scheduler.
 
 A :class:`Region` marks the code block of the main computation
 (``begin``/``end`` around the simulation's per-iteration work, exactly
-like the paper's LULESH listing).  On each ``end`` it drives every
-attached analysis, publishes any status broadcasts over the (simulated)
-communicator, and reports whether the simulation should keep running —
-the early-termination channel.
+like the paper's LULESH listing).  Since the engine refactor the actual
+per-iteration dispatch — feeding analyses, publishing broadcasts,
+deciding termination — lives in
+:class:`~repro.engine.scheduler.AnalysisScheduler`; the region only
+keeps the begin/end bracket bookkeeping and the paper-shaped API on
+top of it.  Analyses attached to one region automatically share data
+collection when their declared windows coincide (see
+:class:`~repro.engine.collection.SharedCollector`).
+
+For driving a whole simulation with many analyses and a termination
+policy, prefer :class:`~repro.engine.scheduler.InSituEngine`.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, Optional, Tuple, Union
 
 from repro.core.curve_fitting import Analysis
-from repro.core.events import ACTION_TERMINATE, StatusBroadcaster
+from repro.core.events import StatusBroadcaster
 from repro.errors import ConfigurationError
 
 
@@ -29,30 +36,48 @@ class Region:
     comm:
         Optional simulated communicator; status events are broadcast
         through it so their cost lands in the overhead measurement.
+    policy, quorum:
+        Termination policy forwarded to the scheduler (default
+        ``"any"`` — the original Region behaviour: the first analysis
+        requesting termination stops the loop).
     """
 
-    def __init__(self, name: str = "", domain: object = None, comm=None) -> None:
+    def __init__(
+        self,
+        name: str = "",
+        domain: object = None,
+        comm=None,
+        *,
+        policy: str = "any",
+        quorum: Optional[Union[int, float]] = None,
+    ) -> None:
+        # Imported here: repro.engine imports repro.core at package
+        # import time; the reverse edge must stay lazy.
+        from repro.engine.scheduler import AnalysisScheduler
+
         self.name = name
         self.domain = domain
-        self.broadcaster = StatusBroadcaster(comm)
-        self.analyses: List[Analysis] = []
+        self.scheduler = AnalysisScheduler(comm=comm, policy=policy, quorum=quorum)
         self.iteration = 0
         self._in_block = False
-        self._stop_requested = False
+
+    @property
+    def broadcaster(self) -> StatusBroadcaster:
+        return self.scheduler.broadcaster
+
+    @property
+    def analyses(self) -> Tuple[Analysis, ...]:
+        """Attached analyses (read-only snapshot; use :meth:`add_analysis`)."""
+        return self.scheduler.analyses
 
     def add_analysis(self, analysis: Analysis) -> Analysis:
         """Attach an analysis; returns it for chaining."""
-        if not isinstance(analysis, Analysis):
-            raise ConfigurationError(
-                f"expected an Analysis, got {type(analysis).__name__}"
-            )
-        self.analyses.append(analysis)
-        return analysis
+        return self.scheduler.add_analysis(analysis)
 
     @property
     def stop_requested(self) -> bool:
-        """True once any analysis asked to terminate the simulation."""
-        return self._stop_requested
+        """True once the termination policy asked to stop the simulation."""
+        return self.scheduler.stop_requested
 
     def begin(self) -> int:
         """Mark the start of one simulation iteration; returns its number.
@@ -78,15 +103,7 @@ class Region:
             raise ConfigurationError("end() called without a matching begin()")
         self._in_block = False
         active_domain = domain if domain is not None else self.domain
-        for analysis in self.analyses:
-            event = analysis.on_iteration(active_domain, self.iteration)
-            if event is not None:
-                self.broadcaster.publish(event)
-                if event.action == ACTION_TERMINATE:
-                    self._stop_requested = True
-            if analysis.wants_stop:
-                self._stop_requested = True
-        return not self._stop_requested
+        return self.scheduler.dispatch(active_domain, self.iteration)
 
     def run(self, step, max_iterations: int, domain: object = None) -> int:
         """Convenience driver: call ``step(iteration)`` inside the region.
@@ -109,6 +126,6 @@ class Region:
                 break
         return executed
 
-    def summaries(self) -> dict:
+    def summaries(self) -> Dict[str, object]:
         """Per-analysis extraction summaries, keyed by analysis name."""
-        return {a.name: a.summary() for a in self.analyses}
+        return self.scheduler.summaries()

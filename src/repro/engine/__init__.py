@@ -1,0 +1,61 @@
+"""In-situ engine: shared collection, scheduling, workload abstraction.
+
+Three layers (bottom-up):
+
+* **Workload** (:mod:`repro.engine.workload`) — the
+  :class:`SimulationApp` protocol plus adapters (:class:`LuleshApp`,
+  :class:`WdMergerApp`, :class:`ReplayApp`) that make any iterative
+  simulation engine-drivable in ~50 lines.
+* **Collection** (:mod:`repro.engine.collection`) —
+  :class:`SharedCollector` groups analyses by ``(provider, spatial,
+  temporal)`` so each declared data window is sampled exactly once per
+  matching iteration, however many analyses subscribe to it.
+* **Scheduling** (:mod:`repro.engine.scheduler`) —
+  :class:`AnalysisScheduler` dispatches every active analysis each
+  iteration with per-analysis early-stop state and an
+  ``any``/``all``/``quorum`` termination policy;
+  :class:`InSituEngine` couples a scheduler to an app and runs the
+  instrumented main loop.
+
+The legacy :class:`~repro.core.region.Region` and the ``td_*`` C-style
+facade remain as thin compatibility wrappers over the scheduler.
+"""
+
+from repro.engine.collection import CollectionGroup, SharedCollector
+from repro.engine.scheduler import (
+    POLICIES,
+    POLICY_ALL,
+    POLICY_ANY,
+    POLICY_QUORUM,
+    AnalysisScheduler,
+    AnalysisState,
+    EngineResult,
+    InSituEngine,
+)
+from repro.engine.workload import (
+    LuleshApp,
+    ReplayApp,
+    SimulationApp,
+    WdMergerApp,
+    as_simulation_app,
+    replay_provider,
+)
+
+__all__ = [
+    "POLICIES",
+    "POLICY_ALL",
+    "POLICY_ANY",
+    "POLICY_QUORUM",
+    "AnalysisScheduler",
+    "AnalysisState",
+    "CollectionGroup",
+    "EngineResult",
+    "InSituEngine",
+    "LuleshApp",
+    "ReplayApp",
+    "SharedCollector",
+    "SimulationApp",
+    "WdMergerApp",
+    "as_simulation_app",
+    "replay_provider",
+]

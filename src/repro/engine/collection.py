@@ -1,0 +1,98 @@
+"""Collection layer: sample each declared data window exactly once.
+
+Historically every analysis owned a private
+:class:`~repro.core.collector.DataCollector`, so N analyses declared
+over the same data window paid N provider sweeps per matching iteration
+— a nine-threshold Table IV sweep sampled the same velocity field nine
+times.  :class:`SharedCollector` removes that multiplier: analyses
+whose collectors agree on ``(provider, spatial, temporal)`` are grouped
+onto one :class:`~repro.core.collector.SeriesStore`, the first
+collector dispatched in an iteration samples the simulation, and every
+later one reuses the stored row.  Training state (trainer, model,
+monitor) stays per-analysis, so fit results are bit-identical to
+independent runs.
+
+Grouping is by provider *identity*: two textually identical lambdas are
+distinct providers and will not share.  Pass the same callable object
+to every analysis that should read through one sweep (see
+``repro.engine.workload.replay_provider`` for the replay case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.collector import DataCollector, SeriesStore
+from repro.core.params import IterParam
+
+
+def _window_key(param: IterParam) -> Tuple[int, int, int]:
+    return (param.begin, param.end, param.step)
+
+
+@dataclass
+class CollectionGroup:
+    """One shared sampling unit: a store plus its subscribed collectors."""
+
+    store: SeriesStore
+    collectors: List[DataCollector] = field(default_factory=list)
+
+    @property
+    def n_subscribers(self) -> int:
+        return len(self.collectors)
+
+
+class SharedCollector:
+    """Registry deduplicating data collection across analyses.
+
+    ``subscribe`` inspects an analysis's collector and either starts a
+    new group around its store or rebinds it onto an existing group's
+    store.  Analyses without a collector attribute (custom
+    :class:`~repro.core.curve_fitting.Analysis` subclasses that manage
+    their own data) are left untouched.
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[tuple, CollectionGroup] = {}
+
+    def subscribe(self, analysis) -> bool:
+        """Register an analysis for shared collection.
+
+        Returns True when the analysis now reads through a shared
+        group, False when it does not participate (no collector).
+        """
+        collector = getattr(analysis, "collector", None)
+        if not isinstance(collector, DataCollector):
+            return False
+        key = (
+            collector.provider,
+            _window_key(collector.spatial),
+            _window_key(collector.temporal),
+        )
+        group = self._groups.get(key)
+        if group is None:
+            self._groups[key] = CollectionGroup(
+                store=collector.store, collectors=[collector]
+            )
+        else:
+            collector.rebind_store(group.store)
+            group.collectors.append(collector)
+        return True
+
+    @property
+    def groups(self) -> List[CollectionGroup]:
+        return list(self._groups.values())
+
+    @property
+    def n_groups(self) -> int:
+        return len(self._groups)
+
+    @property
+    def n_collectors(self) -> int:
+        return sum(group.n_subscribers for group in self._groups.values())
+
+    @property
+    def shared_sweeps_saved(self) -> int:
+        """Provider sweeps avoided per matching iteration by sharing."""
+        return self.n_collectors - self.n_groups

@@ -1,6 +1,6 @@
 """Experiment drivers regenerating every table and figure of the paper.
 
-See DESIGN.md §4 for the experiment index.  Each driver returns a
+See README.md for the experiment index.  Each driver returns a
 :class:`~repro.experiments.common.Table` whose ``render()`` prints the
 paper-style rows; the benchmark suite calls these and asserts on the
 reproduced shapes.
@@ -10,6 +10,7 @@ from repro.experiments.common import (
     Table,
     lulesh_reference,
     train_from_history,
+    train_many_from_history,
     train_series_from_history,
     wdmerger_reference,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "table6",
     "table7",
     "train_from_history",
+    "train_many_from_history",
     "train_series_from_history",
     "wdmerger_reference",
 ]

@@ -3,20 +3,24 @@
 Provides the plain-text table container every driver returns (so
 benchmarks can both assert on rows and print paper-style output), the
 cached reference runs (full LULESH / wdmerger simulations reused across
-tables), and the replay helper that trains an analysis from a recorded
-history without re-running the simulation.
+tables), and the replay helpers that train analyses from a recorded
+history without re-running the simulation.  Replay runs through the
+in-situ engine: N analyses over the same window cost one pass over the
+history with one provider sweep per collected row
+(:func:`train_many_from_history`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.curve_fitting import CurveFitting
-from repro.core.params import IterParam
+from repro.core.params import IterParam, as_iter_param
+from repro.engine import InSituEngine, ReplayApp
 from repro.errors import ConfigurationError
 from repro.lulesh import LuleshSimulation
 from repro.wdmerger import WdMergerSimulation
@@ -132,14 +136,45 @@ def wdmerger_reference(resolution: int) -> WdReference:
     )
 
 
-class _ReplayDomain:
-    """Domain stand-in whose per-location values come from one history row."""
+def train_many_from_history(
+    history: np.ndarray,
+    spatial: IterParam,
+    temporal: IterParam,
+    configs: Sequence[Mapping],
+    *,
+    policy: str = "all",
+) -> List[CurveFitting]:
+    """Train N CurveFitting analyses in one replay of a recorded history.
 
-    def __init__(self) -> None:
-        self.row: Optional[np.ndarray] = None
-
-    def value(self, location: int) -> float:
-        return float(self.row[location])
+    All analyses share the same declared data window, so the engine's
+    shared-collection layer samples each history row exactly once and
+    fans it out — an N-configuration sweep (thresholds, batch sizes,
+    model orders, ...) costs a single pass.  Each analysis keeps its
+    own trainer/model/monitor, so results are bit-identical to N
+    independent replays.
+    """
+    arr = np.asarray(history, dtype=np.float64)
+    app = ReplayApp(arr)
+    engine = InSituEngine(app, policy=policy)
+    spatial = as_iter_param(spatial)
+    temporal = as_iter_param(temporal)
+    analyses = []
+    for i, config in enumerate(configs):
+        kwargs = dict(config)
+        kwargs.setdefault("name", f"curve_fitting_{i}")
+        analyses.append(
+            engine.add_analysis(
+                CurveFitting(ReplayApp.provider, spatial, temporal, **kwargs)
+            )
+        )
+    # Recorded row r holds iteration r+1 (rows are appended after each
+    # step of the 1-based iteration counter); replay stops at the
+    # window end rather than draining the whole recording.
+    engine.run(max_iterations=min(temporal.end, arr.shape[0]))
+    for analysis in analyses:
+        if not analysis.collector.done:
+            analysis.collector.finalize()
+    return analyses
 
 
 def train_from_history(
@@ -154,20 +189,9 @@ def train_from_history(
     (the collector sees the same rows in the same order), but reusing
     the cached reference run makes accuracy sweeps cheap.
     """
-    arr = np.asarray(history, dtype=np.float64)
-    domain = _ReplayDomain()
-    analysis = CurveFitting(
-        lambda d, loc: d.value(loc), spatial, temporal, **analysis_kwargs
-    )
-    # Recorded row r holds iteration r+1 (rows are appended after each
-    # step of the 1-based iteration counter).
-    last = min(temporal.end, arr.shape[0])
-    for iteration in range(1, last + 1):
-        domain.row = arr[iteration - 1]
-        analysis.on_iteration(domain, iteration)
-    if not analysis.collector.done:
-        analysis.collector.finalize()
-    return analysis
+    return train_many_from_history(
+        history, spatial, temporal, [analysis_kwargs]
+    )[0]
 
 
 def train_series_from_history(

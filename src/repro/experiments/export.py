@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, Iterable
+from typing import Dict
 
 from repro.errors import ConfigurationError
 from repro.experiments.common import Table

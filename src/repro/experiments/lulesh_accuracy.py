@@ -10,8 +10,6 @@ from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-import numpy as np
-
 from repro.analysis.accuracy import error_rate
 from repro.core.curve_fitting import evaluate_spatial_history
 from repro.core.params import IterParam

@@ -22,6 +22,7 @@ from repro.experiments import (
     table6,
     table7,
 )
+from repro.experiments.lulesh_perf import TABLE4_THRESHOLDS
 
 
 def main(argv=None) -> int:
@@ -32,6 +33,13 @@ def main(argv=None) -> int:
         help="smaller sizes / fewer thresholds for the performance tables",
     )
     args = parser.parse_args(argv)
+
+    if args.quick:
+        table4_sizes = (30,)
+        table4_thresholds = (0.002, 0.02, 0.2)
+    else:
+        table4_sizes = (30, 60, 90)
+        table4_thresholds = TABLE4_THRESHOLDS
 
     sections = [
         ("Table I", lambda: table1()),
@@ -44,11 +52,7 @@ def main(argv=None) -> int:
         ),
         (
             "Table IV",
-            lambda: table4(
-                sizes=(30,) if args.quick else (30, 60, 90),
-                thresholds=(0.002, 0.02, 0.2) if args.quick else None
-                or (0.001, 0.002, 0.005, 0.0075, 0.01, 0.02, 0.05, 0.1, 0.2),
-            ),
+            lambda: table4(sizes=table4_sizes, thresholds=table4_thresholds),
         ),
         ("Table V", lambda: table5()),
         ("Table VI", lambda: table6()),

@@ -2,7 +2,7 @@
 
 The paper measures wall-clock on real MPI ranks and OpenMP threads; our
 substrate executes serially and *models* the parallel dimension (see
-DESIGN.md §2).  A configuration's reported time combines:
+README.md).  A configuration's reported time combines:
 
 * the measured serial compute time divided by a communication-aware
   MPI speedup (halo exchange per iteration grows with rank count while

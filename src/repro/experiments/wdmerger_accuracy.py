@@ -9,11 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Sequence
 
-import numpy as np
-
 from repro.analysis.accuracy import error_rate
 from repro.core.params import IterParam
-from repro.core.tracking import find_inflections
 from repro.experiments.common import Table, train_series_from_history, wdmerger_reference
 from repro.wdmerger.detonation import delay_time_from_series
 from repro.wdmerger.diagnostics import DIAGNOSTIC_NAMES

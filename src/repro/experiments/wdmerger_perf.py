@@ -12,7 +12,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.core.params import IterParam
-from repro.core.region import Region
+from repro.engine import InSituEngine, WdMergerApp
 from repro.experiments.common import Table
 from repro.experiments.scaling import ScalingModel
 from repro.instrument.overhead import acceleration_percent, overhead_percent
@@ -39,7 +39,7 @@ class WdMeasuredRun:
 
 def _attach_analyses(
     sim: WdMergerSimulation,
-    region: Region,
+    engine: InSituEngine,
     *,
     early_stop: bool,
     variables: Sequence[str] = DIAGNOSTIC_NAMES,
@@ -48,7 +48,7 @@ def _attach_analyses(
     analyses = []
     for variable in variables:
         analyses.append(
-            region.add_analysis(
+            engine.add_analysis(
                 DetonationAnalysis(
                     IterParam(0, 0, 1),
                     IterParam(1, total, 1),
@@ -83,9 +83,9 @@ def _warmup() -> None:
     np.median(np.arange(8.0))
     np.fft.rfftn(np.zeros((4, 4, 4)))
     sim = WdMergerSimulation(8, end_time=4.0)
-    region = Region("warmup", sim)
-    _attach_analyses(sim, region, early_stop=False)
-    sim.run(region)
+    engine = InSituEngine(WdMergerApp(sim), name="warmup")
+    _attach_analyses(sim, engine, early_stop=False)
+    engine.run()
     _warmed_up = True
 
 
@@ -119,10 +119,10 @@ def measure_instrumented(
     for _ in range(_repeats(resolution)):
         sim = WdMergerSimulation(resolution)
         comm = SimComm(ranks)
-        region = Region("wdmerger", sim, comm)
-        analyses = _attach_analyses(sim, region, early_stop=early_stop)
+        engine = InSituEngine(WdMergerApp(sim), comm=comm, name="wdmerger")
+        analyses = _attach_analyses(sim, engine, early_stop=early_stop)
         start = time.perf_counter()
-        sim.run(region)
+        engine.run()
         elapsed = time.perf_counter() - start
         delay = None
         for analysis in analyses:

@@ -2,7 +2,7 @@
 
 A Lagrangian, leapfrog-integrated, artificial-viscosity hydrodynamics
 solver for the spherically symmetric Sedov point blast, wrapped in a
-3-D cubic domain view (see DESIGN.md §2 for how this substitutes for
+3-D cubic domain view (see README.md for how this substitutes for
 LULESH 2.0).  Verified against the analytic Sedov–Taylor solution in
 the test suite.
 """

@@ -64,14 +64,14 @@ class BreakPointAnalysis(CurveFitting):
         self._confirmed = False
 
     def on_iteration(self, domain, iteration):
-        before = len(self.collector.store)
+        before = self.collector.rows_ingested
         event = super().on_iteration(domain, iteration)
         # Track the blast reference velocity as the run's peak so far
         # when the caller did not pin one.
         if self._reference_dynamic:
             peak = float(np.max(np.abs(domain.mesh.u)))
             self.reference_value = max(self.reference_value, peak)
-        n = len(self.collector.store)
+        n = self.collector.rows_ingested
         # Confirmation is due only on iterations that actually collected
         # a sample — the stale count would otherwise retrigger the
         # (fit + extrapolate) pass every iteration after the window.

@@ -4,7 +4,7 @@ The paper runs on real MPI ranks and OpenMP threads; this package
 replaces them with a deterministic in-process simulation whose
 communication costs come from an analytic model and are *charged* to a
 ledger, so the experiment harness can report the same overhead ratios
-the paper measures (see DESIGN.md §2 for the substitution rationale).
+the paper measures (see README.md for the substitution rationale).
 """
 
 from repro.parallel.comm import SimComm

@@ -16,7 +16,7 @@ and advances the shared simulated clock by the tree cost.
 from __future__ import annotations
 
 import pickle
-from typing import Any, Dict, List, Optional
+from typing import Any, List, Optional
 
 from repro.errors import CommunicatorError
 from repro.parallel.cost_model import CommCostModel

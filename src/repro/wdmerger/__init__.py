@@ -3,7 +3,7 @@
 GW inspiral → unstable Roche-lobe mass transfer → disruption →
 remnant heating → carbon detonation, with per-step diagnostics (max
 temperature, total angular momentum, bound mass, total energy)
-integrated on a 3-D grid of configurable resolution.  See DESIGN.md §2
+integrated on a 3-D grid of configurable resolution.  See README.md
 for the substitution rationale against the real Castro code.
 """
 

@@ -70,9 +70,9 @@ class DetonationAnalysis(CurveFitting):
         self.delay_feature: Optional[DelayTimeFeature] = None
 
     def on_iteration(self, domain, iteration):
-        before = len(self.collector.store)
+        before = self.collector.rows_ingested
         event = super().on_iteration(domain, iteration)
-        collected = len(self.collector.store) > before
+        collected = self.collector.rows_ingested > before
         if collected and self.delay_feature is None and self.monitor.converged:
             candidate = self._detect(iteration)
             if candidate is not None:

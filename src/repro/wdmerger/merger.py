@@ -23,7 +23,7 @@ resolution-dependent error and an O(resolution^3) per-step cost.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -36,7 +36,7 @@ from repro.wdmerger.diagnostics import DiagnosticHistory, DiagnosticSample
 from repro.wdmerger.gravwave import separation_decay_rate
 from repro.wdmerger.grid import DiagnosticGrid
 from repro.wdmerger import mass_transfer
-from repro.wdmerger.wd import WhiteDwarf, wd_radius
+from repro.wdmerger.wd import WhiteDwarf
 
 #: Phase labels, in order.
 PHASE_INSPIRAL = "inspiral"

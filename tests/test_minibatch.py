@@ -69,6 +69,31 @@ class TestMiniBatch:
         with pytest.raises(ValueError):
             x[0, 0] = 99
 
+    def test_add_block_accepts_what_fits(self):
+        batch = MiniBatch(3, 2)
+        taken = batch.add_block([[1, 2], [3, 4]], [10, 20])
+        assert taken == 2
+        assert len(batch) == 2
+        # Only one slot left: the overflow stays with the caller.
+        taken = batch.add_block([[5, 6], [7, 8]], [30, 40])
+        assert taken == 1
+        assert batch.full
+        x, y = batch.view()
+        np.testing.assert_array_equal(x, [[1, 2], [3, 4], [5, 6]])
+        np.testing.assert_array_equal(y, [10, 20, 30])
+
+    def test_add_block_on_full_returns_zero(self):
+        batch = MiniBatch(1, 2)
+        batch.add([1, 2], 1)
+        assert batch.add_block([[3, 4]], [2]) == 0
+
+    def test_add_block_validates_shapes(self):
+        batch = MiniBatch(4, 2)
+        with pytest.raises(ConfigurationError):
+            batch.add_block([[1, 2, 3]], [1])
+        with pytest.raises(ConfigurationError):
+            batch.add_block([[1, 2], [3, 4]], [1])
+
 
 class TestMiniBatchTrainer:
     def test_updates_only_when_batch_fills(self):
