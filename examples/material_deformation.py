@@ -35,6 +35,14 @@ def _provider(domain, loc):
     return domain.xd(loc)
 
 
+# Batch protocol: sample the whole spatial window in one gather.
+def _provider_batch(domain, locations):
+    return domain.xd_batch(locations)
+
+
+_provider.batch = _provider_batch
+
+
 def extract_break_points(size, thresholds, total_iterations):
     """In-situ extraction of every threshold in one shared run."""
     sim = LuleshSimulation(size, maintain_field=False)

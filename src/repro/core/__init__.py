@@ -35,6 +35,15 @@ from repro.core.features import (
 )
 from repro.core.minibatch import MiniBatch, MiniBatchTrainer
 from repro.core.params import IterParam, as_iter_param
+from repro.core.providers import (
+    array_provider,
+    attribute_provider,
+    batch_sample,
+    batched,
+    checked,
+    provider_key,
+    scalar_provider,
+)
 from repro.core.region import Region
 from repro.core.thresholds import RoiResult, ThresholdDetector, peak_profile
 from repro.core.tracking import (
@@ -71,11 +80,18 @@ __all__ = [
     "ThresholdEvent",
     "TrackedPoint",
     "VariableTracker",
+    "array_provider",
     "as_iter_param",
+    "attribute_provider",
+    "batch_sample",
+    "batched",
+    "checked",
     "detect_gradient_break",
     "find_extrema",
     "find_inflections",
     "gradients",
     "peak_profile",
+    "provider_key",
+    "scalar_provider",
     "smooth",
 ]

@@ -22,85 +22,126 @@ Two pairing modes cover the paper's two case studies:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.minibatch import MiniBatchTrainer
 from repro.core.params import IterParam
-from repro.core.providers import ProviderFn
+from repro.core.providers import ProviderFn, batch_sample
 from repro.errors import CollectionError, ConfigurationError
 
 
+def _view(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (no copy)."""
+    out = array.view()
+    out.flags.writeable = False
+    return out
+
+
 class SeriesStore:
-    """Collected samples: a (location x iteration) matrix built row-wise.
+    """Collected samples: a (iteration x location) matrix built row-wise.
 
     Rows arrive one collected iteration at a time; the store keeps the
     iteration numbers and exposes per-location series for evaluation and
     for seeding model forwarding.
+
+    Storage is a preallocated ``(capacity, n_locations)`` float64 array
+    grown by amortized doubling, plus an iteration → row-index dict, so
+    the hot-path accessors are zero-copy: :meth:`matrix`,
+    :meth:`row_at`, :meth:`row` and :meth:`series` all return O(1)
+    read-only views into the buffer instead of re-stacking history.
     """
 
-    def __init__(self, locations: np.ndarray) -> None:
+    def __init__(self, locations: np.ndarray, *, capacity: int = 64) -> None:
         self.locations = np.asarray(locations, dtype=np.int64)
-        self._iterations: List[int] = []
-        self._rows: List[np.ndarray] = []
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {capacity}"
+            )
+        self._n = 0
+        self._data = np.empty(
+            (capacity, self.locations.shape[0]), dtype=np.float64
+        )
+        self._iterations = np.empty(capacity, dtype=np.int64)
+        self._index: Dict[int, int] = {}
 
     def __len__(self) -> int:
-        return len(self._iterations)
+        return self._n
+
+    def _grow(self) -> None:
+        capacity = max(1, 2 * self._data.shape[0])
+        data = np.empty((capacity, self._data.shape[1]), dtype=np.float64)
+        data[: self._n] = self._data[: self._n]
+        iterations = np.empty(capacity, dtype=np.int64)
+        iterations[: self._n] = self._iterations[: self._n]
+        self._data = data
+        self._iterations = iterations
 
     @property
     def iterations(self) -> np.ndarray:
-        return np.asarray(self._iterations, dtype=np.int64)
+        return _view(self._iterations[: self._n])
 
     @property
     def last_iteration(self) -> Optional[int]:
         """Iteration of the most recent row, or None when empty."""
-        return self._iterations[-1] if self._iterations else None
+        return int(self._iterations[self._n - 1]) if self._n else None
 
     def add_row(self, iteration: int, values: np.ndarray) -> None:
-        if self._iterations and iteration <= self._iterations[-1]:
+        iteration = int(iteration)
+        if self._n and iteration <= self._iterations[self._n - 1]:
             raise CollectionError(
-                f"iteration {iteration} arrived after {self._iterations[-1]}"
+                f"iteration {iteration} arrived after "
+                f"{int(self._iterations[self._n - 1])}"
             )
+        values = np.asarray(values, dtype=np.float64)
         if values.shape != self.locations.shape:
             raise CollectionError(
                 f"row shape {values.shape} does not match "
                 f"{self.locations.shape} locations"
             )
-        self._iterations.append(int(iteration))
-        self._rows.append(np.array(values, dtype=np.float64))
+        if self._n >= self._data.shape[0]:
+            self._grow()
+        self._data[self._n] = values
+        self._iterations[self._n] = iteration
+        self._index[iteration] = self._n
+        self._n += 1
 
     def matrix(self) -> np.ndarray:
-        """All rows stacked: shape ``(n_collected, n_locations)``."""
-        if not self._rows:
-            return np.empty((0, len(self.locations)))
-        return np.vstack(self._rows)
+        """All rows stacked: shape ``(n_collected, n_locations)``.
+
+        A zero-copy read-only view — O(1) however long the history is.
+        """
+        return _view(self._data[: self._n])
 
     def row_at(self, iteration: int) -> Optional[np.ndarray]:
-        """Row collected at exactly ``iteration``, or None."""
-        try:
-            idx = self._iterations.index(int(iteration))
-        except ValueError:
+        """Row collected at exactly ``iteration``, or None (O(1))."""
+        idx = self._index.get(int(iteration))
+        if idx is None:
             return None
-        return self._rows[idx]
+        return _view(self._data[idx])
 
     def row(self, index: int) -> np.ndarray:
         """The ``index``-th collected row (supports negative indices)."""
-        return self._rows[index]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError(f"row index {index} out of range ({self._n} rows)")
+        return _view(self._data[index])
 
     def last_row(self) -> Optional[np.ndarray]:
         """Most recently collected row, or None when empty."""
-        return self._rows[-1] if self._rows else None
+        return _view(self._data[self._n - 1]) if self._n else None
 
     def series(self, location: int) -> Tuple[np.ndarray, np.ndarray]:
-        """(iterations, values) time series of one location."""
+        """(iterations, values) time series of one location (views)."""
         cols = np.where(self.locations == location)[0]
         if cols.size == 0:
             raise CollectionError(
                 f"location {location} is outside the collected window "
                 f"{self.locations.tolist()}"
             )
-        return self.iterations, self.matrix()[:, cols[0]]
+        return self.iterations, _view(self._data[: self._n, cols[0]])
 
     def profile_at(self, iteration: int) -> np.ndarray:
         """Spatial profile (values over locations) at one collected step."""
@@ -185,7 +226,7 @@ class DataCollector:
         self.include_self = include_self
         self.order = order
         if store is None:
-            store = SeriesStore(spatial.indices())
+            store = SeriesStore(spatial.indices(), capacity=temporal.count)
         elif not np.array_equal(store.locations, spatial.indices()):
             raise ConfigurationError(
                 f"shared store covers locations {store.locations.tolist()} "
@@ -256,13 +297,10 @@ class DataCollector:
             # add_row below) rather than a silent duplicate emission.
             row = self.store.row(-1)
         else:
-            row = np.array(
-                [
-                    float(self.provider(domain, int(loc)))
-                    for loc in self.store.locations
-                ],
-                dtype=np.float64,
-            )
+            # One vectorized gather over the whole spatial window when
+            # the provider implements the batch protocol; scalar
+            # per-location calls otherwise (see providers.batch_sample).
+            row = batch_sample(self.provider, domain, self.store.locations)
             if not np.all(np.isfinite(row)):
                 raise CollectionError(
                     f"non-finite sample collected at iteration {iteration}"
@@ -313,18 +351,14 @@ class DataCollector:
         anchor = n - 1 - lag_rows
         if anchor - (self.order - 1) < 0:
             return []
-        # Only the order rows around the anchor and the target row are
-        # touched — O(order) per sample, independent of history length.
-        window_rows = [
-            self.store.row(i) for i in range(anchor - self.order + 1, anchor + 1)
-        ]
-        target_row = self.store.row(n - 1)
-        losses = []
-        for col in range(target_row.shape[0]):
-            # Most recent predecessor first.
-            features = np.array([row[col] for row in reversed(window_rows)])
-            loss = self.trainer.push(features, target_row[col])
-            self._samples_emitted += 1
-            if loss is not None:
-                losses.append(loss)
+        # Every location emits one sample: its `order` most recent
+        # predecessors ending at the anchor row (most recent first)
+        # predicting its value in the newest row.  One push_block over
+        # all columns replaces the per-location push loop — O(order)
+        # rows are touched, independent of history length.
+        window = self.store.matrix()[anchor - self.order + 1: anchor + 1]
+        features = window[::-1].T
+        targets = self.store.row(n - 1)
+        losses = self.trainer.push_block(features, targets)
+        self._samples_emitted += targets.shape[0]
         return losses

@@ -179,7 +179,7 @@ class CurveFitting(Analysis):
         self.wants_stop = stop
         predicted = 0.0
         if self.model.is_trained and len(self.collector.store):
-            last = self.collector.store.matrix()[-1]
+            last = self.collector.store.last_row()
             if last.size >= self.model.order:
                 predicted = float(
                     self.model.predict(last[-self.model.order:][::-1])

@@ -182,13 +182,13 @@ class MiniBatchTrainer:
         return self._train_and_reset()
 
     def push_many(self, features: np.ndarray, targets: np.ndarray) -> List[float]:
-        """Push a block of samples, returning losses of any updates."""
-        losses = []
-        for row, target in zip(np.atleast_2d(features), np.ravel(targets)):
-            loss = self.push(row, target)
-            if loss is not None:
-                losses.append(loss)
-        return losses
+        """Push a block of samples, returning losses of any updates.
+
+        Alias of :meth:`push_block` kept for API compatibility — the
+        per-row loop it used to run is exactly what the block path
+        vectorises.
+        """
+        return self.push_block(features, targets)
 
     def push_block(self, features: np.ndarray, targets: np.ndarray) -> List[float]:
         """Vectorised push: copy a block straight into the batch buffer.
@@ -198,8 +198,11 @@ class MiniBatchTrainer:
         is the hot path the in-situ collector calls once per matching
         iteration.
         """
-        x = np.atleast_2d(np.asarray(features, dtype=np.float64))
         y = np.ravel(np.asarray(targets, dtype=np.float64))
+        x = np.asarray(features, dtype=np.float64)
+        if x.size == 0 and y.size == 0:
+            return []
+        x = np.atleast_2d(x)
         if x.shape[1] != self.batch.n_features:
             raise ConfigurationError(
                 f"expected {self.batch.n_features} features, got {x.shape[1]}"

@@ -16,6 +16,9 @@ Grouping is by provider *identity*: two textually identical lambdas are
 distinct providers and will not share.  Pass the same callable object
 to every analysis that should read through one sweep (see
 ``repro.engine.workload.replay_provider`` for the replay case).
+Wrappers carrying ``__wrapped__`` (``providers.checked``,
+``providers.batched``) are unwrapped before grouping, so a checked and
+a bare view of one provider still share a sweep.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ from typing import Dict, List, Tuple
 
 from repro.core.collector import DataCollector, SeriesStore
 from repro.core.params import IterParam
+from repro.core.providers import provider_key
 
 
 def _window_key(param: IterParam) -> Tuple[int, int, int]:
@@ -66,7 +70,7 @@ class SharedCollector:
         if not isinstance(collector, DataCollector):
             return False
         key = (
-            collector.provider,
+            provider_key(collector.provider),
             _window_key(collector.spatial),
             _window_key(collector.temporal),
         )

@@ -115,6 +115,10 @@ class _ReplayDomain:
     def value(self, location: int) -> float:
         return float(self.row[location])
 
+    def values(self, locations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`value`: gather a whole spatial window."""
+        return self.row[locations]
+
 
 def replay_provider(domain: object, location: int) -> float:
     """The one provider every :class:`ReplayApp` analysis should use.
@@ -122,8 +126,18 @@ def replay_provider(domain: object, location: int) -> float:
     A single module-level function (rather than a fresh lambda per
     analysis) so the shared-collection layer can recognise analyses
     reading the same replayed data and sample each row only once.
+    Implements the batch protocol (``replay_provider.batch``): the
+    collector gathers its whole spatial window from the replayed row
+    with one fancy index instead of a Python call per location.
     """
     return domain.value(location)
+
+
+def _replay_batch(domain: object, locations: np.ndarray) -> np.ndarray:
+    return domain.values(locations)
+
+
+replay_provider.batch = _replay_batch
 
 
 class ReplayApp:

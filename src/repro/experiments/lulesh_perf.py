@@ -50,6 +50,13 @@ def _provider(domain, loc):
     return domain.xd(loc)
 
 
+def _provider_batch(domain, locations):
+    return domain.xd_batch(locations)
+
+
+_provider.batch = _provider_batch
+
+
 def _windows(total_iterations: int, fraction: float):
     """The paper's collection windows: first 10 radial nodes, 40% of run."""
     spatial = IterParam(1, 10, 1)

@@ -67,6 +67,23 @@ class LuleshDomain:
             )
         return float(self.mesh.u[loc])
 
+    def xd_batch(self, locations: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`xd`: one gather over a window of nodes.
+
+        The batch path of the in-situ velocity provider — collection
+        over a wide spatial window costs one fancy index instead of a
+        Python call per node.
+        """
+        locations = np.asarray(locations, dtype=np.int64)
+        if locations.size and (
+            int(locations.min()) < 0 or int(locations.max()) > self.size
+        ):
+            raise ConfigurationError(
+                f"locations must be in [0, {self.size}], got "
+                f"[{int(locations.min())}, {int(locations.max())}]"
+            )
+        return self.mesh.u[locations]
+
     def update_field(self, cycle: int) -> None:
         """Refresh the 3-D element velocity field from the radial profile.
 

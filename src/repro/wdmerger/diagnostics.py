@@ -15,6 +15,7 @@ from typing import Dict, List
 
 import numpy as np
 
+from repro.core.providers import scalar_provider
 from repro.errors import CollectionError, ConfigurationError
 
 #: Canonical diagnostic names, in the order the paper lists them.
@@ -87,14 +88,12 @@ def diagnostic_provider(name: str):
 
     The returned callable expects the domain object to expose the
     diagnostic as an attribute of the same name (as
-    :class:`~repro.wdmerger.merger.WdMergerSimulation` does).
+    :class:`~repro.wdmerger.merger.WdMergerSimulation` does).  The
+    diagnostics are domain-global scalars, so the batch path reads the
+    attribute once and broadcasts it over the (single-location) window.
     """
     if name not in DIAGNOSTIC_NAMES:
         raise ConfigurationError(
             f"unknown diagnostic {name!r}; expected one of {DIAGNOSTIC_NAMES}"
         )
-
-    def _provider(domain: object, location: int) -> float:
-        return float(getattr(domain, name))
-
-    return _provider
+    return scalar_provider(name)
