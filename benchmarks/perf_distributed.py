@@ -1,0 +1,245 @@
+"""Distributed-runtime benchmark: serial engine vs sharded rank runs.
+
+Times a wide-spatial in-situ scenario — a replayed history with an
+expensive per-location provider (a harmonic-sum refinement whose cost
+is proportional to the number of locations gathered) — through three
+execution paths:
+
+``serial``
+    The plain :class:`~repro.engine.scheduler.InSituEngine`: one
+    full-window provider sweep per matching iteration.
+
+``simcomm``
+    The :class:`~repro.engine.distributed.DistributedEngine` on the
+    deterministic in-process backend at each rank count.  Reported
+    "simulated" seconds combine the slowest rank's measured sampling
+    time with the communicator's Hockney ledger — the wall time an
+    iteration-synchronous distributed run would see if each rank ran on
+    its own core.
+
+``multiprocessing``
+    The same engine on real worker processes.  Reported seconds are
+    actual wall clock, so the speedup only materialises when the
+    machine has at least as many free cores as ranks — the JSON
+    records ``cpu_count`` so readers can interpret the numbers.
+
+Every distributed run's fit coefficients are asserted against the
+serial engine within 1e-12, so all reported numbers are for *identical*
+results.  Run directly::
+
+    PYTHONPATH=src python benchmarks/perf_distributed.py [--quick] \
+        [--ranks 4,8] [--output BENCH_distributed.json]
+
+``--quick`` trims the scenario for CI smoke runs.  Not collected by
+pytest (the module is not named ``test_*``) — this is a timing script,
+not a correctness test.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+from functools import partial
+
+import numpy as np
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.providers import HarmonicProvider
+from repro.engine import DistributedEngine, InSituEngine, ReplayApp
+
+#: Expensive per-location diagnostic over the replayed row: one module-
+#: level instance so shared-collection grouping and worker pickling
+#: both see the same provider identity.
+heavy_provider = HarmonicProvider(384)
+
+
+def make_app(n_iterations: int, n_locations: int, seed: int = 7) -> ReplayApp:
+    """Deterministic replay app (module-level: workers rebuild it)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(1, n_iterations + 1)[:, None].astype(np.float64)
+    x = np.arange(n_locations)[None, :].astype(np.float64)
+    wave = 5.0 * np.exp(-0.5 * ((x - 0.35 * t) / (0.06 * n_locations)) ** 2)
+    history = wave + 0.01 * t + 0.002 * x
+    history += 0.02 * rng.standard_normal((n_iterations, n_locations))
+    return ReplayApp(history)
+
+
+def _analysis(n_locations: int, n_iterations: int) -> CurveFitting:
+    return CurveFitting(
+        heavy_provider,
+        (0, n_locations - 1, 1),
+        (1, n_iterations, 1),
+        order=3,
+        lag=1,
+        batch_size=max(256, n_locations),
+        epochs_per_batch=2,
+        name="wide_spatial",
+    )
+
+
+def _coefficient_delta(a: CurveFitting, b: CurveFitting) -> float:
+    return max(
+        float(np.max(np.abs(a.model.coefficients - b.model.coefficients))),
+        abs(a.model.intercept - b.model.intercept),
+    )
+
+
+def run_scenario(*, n_locations, n_iterations, simcomm_ranks, mp_ranks,
+                 mp_chunk=16, seed=7):
+    factory = partial(make_app, n_iterations, n_locations, seed)
+
+    serial_engine = InSituEngine(factory())
+    serial_analysis = serial_engine.add_analysis(
+        _analysis(n_locations, n_iterations)
+    )
+    serial = serial_engine.run()
+
+    simcomm_rows = []
+    for ranks in simcomm_ranks:
+        engine = DistributedEngine(factory(), n_ranks=ranks)
+        analysis = engine.add_analysis(_analysis(n_locations, n_iterations))
+        result = engine.run()
+        delta = _coefficient_delta(serial_analysis, analysis)
+        if delta > 1e-12:
+            raise AssertionError(
+                f"simcomm {ranks}-rank fit diverged from serial "
+                f"(delta {delta:.3e})"
+            )
+        simulated = float(
+            result.max_rank_sample_seconds + result.comm_seconds
+        )
+        simcomm_rows.append(
+            {
+                "ranks": ranks,
+                "max_rank_sample_seconds": round(
+                    result.max_rank_sample_seconds, 4
+                ),
+                "comm_seconds": round(result.comm_seconds, 6),
+                "simulated_sample_speedup": round(
+                    float(np.sum(result.rank_sample_seconds)) / simulated, 2
+                ),
+                "max_coefficient_delta": delta,
+            }
+        )
+
+    mp_rows = []
+    for ranks in mp_ranks:
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=ranks,
+            app_factory=factory,
+            chunk=mp_chunk,
+        )
+        analysis = engine.add_analysis(_analysis(n_locations, n_iterations))
+        result = engine.run()
+        delta = _coefficient_delta(serial_analysis, analysis)
+        if delta > 1e-12:
+            raise AssertionError(
+                f"multiprocessing {ranks}-rank fit diverged from serial "
+                f"(delta {delta:.3e})"
+            )
+        mp_rows.append(
+            {
+                "ranks": ranks,
+                "seconds": round(result.seconds, 4),
+                "speedup": round(serial.seconds / result.seconds, 2),
+                "max_coefficient_delta": delta,
+            }
+        )
+
+    return {
+        "scenario": "wide_spatial",
+        "n_locations": n_locations,
+        "n_iterations": n_iterations,
+        "serial_seconds": round(serial.seconds, 4),
+        "simcomm": simcomm_rows,
+        "multiprocessing": mp_rows,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="trimmed scenario for CI smoke"
+    )
+    parser.add_argument(
+        "--ranks",
+        default=None,
+        help="comma-separated multiprocessing rank counts (default 4,8; "
+        "quick default 2)",
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_distributed.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail unless the best multiprocessing speedup beats this "
+        "(only meaningful with cpu_count >= ranks)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.ranks:
+        mp_ranks = [int(r) for r in args.ranks.split(",")]
+    else:
+        mp_ranks = [2] if args.quick else [4, 8]
+    simcomm_ranks = [1, 2] if args.quick else [1, 4, 8]
+    if args.quick:
+        spec = dict(n_locations=192, n_iterations=60)
+    else:
+        spec = dict(n_locations=768, n_iterations=200)
+
+    cpu_count = os.cpu_count() or 1
+    result = run_scenario(
+        simcomm_ranks=simcomm_ranks, mp_ranks=mp_ranks, **spec
+    )
+
+    print(
+        f"serial: {result['serial_seconds']:.3f}s "
+        f"({spec['n_locations']} locations x {spec['n_iterations']} iters, "
+        f"{cpu_count} cpus)"
+    )
+    for row in result["simcomm"]:
+        print(
+            f"simcomm  ranks={row['ranks']:>2}  max-rank sample "
+            f"{row['max_rank_sample_seconds']:.4f}s  comm "
+            f"{row['comm_seconds']:.6f}s  simulated sampling speedup "
+            f"{row['simulated_sample_speedup']:.2f}x"
+        )
+    for row in result["multiprocessing"]:
+        print(
+            f"mp       ranks={row['ranks']:>2}  wall {row['seconds']:.3f}s  "
+            f"speedup {row['speedup']:.2f}x"
+        )
+    best = max((r["speedup"] for r in result["multiprocessing"]), default=0.0)
+    if cpu_count < max(mp_ranks, default=1) + 1:
+        print(
+            f"note: only {cpu_count} cpu(s) visible — multiprocessing "
+            "wall-clock speedup needs one core per rank; the simcomm rows "
+            "carry the modelled scaling"
+        )
+
+    payload = {
+        "quick": args.quick,
+        "cpu_count": cpu_count,
+        "results": result,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+
+    if args.min_speedup and best < args.min_speedup:
+        print(
+            f"FAIL: best multiprocessing speedup {best}x is below the "
+            f"required {args.min_speedup}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,145 @@
+"""Distributed in-situ extraction on the LULESH Sedov blast.
+
+Runs the break-point threshold sweep of the material-deformation case
+through the rank-parallel :class:`~repro.engine.DistributedEngine` and
+shows the three things the distributed runtime guarantees:
+
+1. **Determinism** — fit coefficients, stop iterations and extracted
+   break radii at every rank count equal the serial
+   :class:`~repro.engine.InSituEngine` bit for bit: each rank gathers
+   only its shard of the velocity window, and the reduced rows are
+   exactly the serial provider sweeps.
+2. **Mergeable collection** — the rank-local shard stores reassemble
+   into the full series (`SeriesStore.merge_shards`), and the per-rank
+   `RunningStats` partials Chan-merge into the global aggregate.
+3. **Accounted communication** — the per-iteration row reduction,
+   collective stop agreement and final statistics reduction all charge
+   Hockney-model time to the `SimComm` ledger, which is how modeled
+   scaling numbers stay tied to measured runs.
+
+Run:  python examples/distributed_sedov.py [size] [ranks]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.core.params import IterParam
+from repro.engine import DistributedEngine, InSituEngine
+from repro.lulesh import LuleshSimulation
+from repro.lulesh.insitu import BreakPointAnalysis
+
+THRESHOLDS = (0.002, 0.02, 0.2)
+
+
+def _provider(domain, loc):
+    return domain.xd(loc)
+
+
+def _provider_batch(domain, locations):
+    return domain.xd_batch(locations)
+
+
+_provider.batch = _provider_batch
+
+
+def _analyses(size, total_iterations):
+    return [
+        BreakPointAnalysis(
+            _provider,
+            IterParam(1, 10, 1),
+            IterParam(50, int(0.4 * total_iterations), 1),
+            threshold=threshold,
+            max_location=size,
+            lag=10,
+            order=3,
+            terminate_when_trained=True,
+            name=f"threshold_{threshold:g}",
+        )
+        for threshold in THRESHOLDS
+    ]
+
+
+def main():
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    n_ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
+
+    probe = LuleshSimulation(size, maintain_field=False)
+    probe.run()
+    total = probe.iteration
+    print(f"domain size {size}^3, {total} iterations, {n_ranks} ranks")
+
+    serial_engine = InSituEngine(
+        LuleshSimulation(size, maintain_field=False), policy="all"
+    )
+    serial = [serial_engine.add_analysis(a) for a in _analyses(size, total)]
+    serial_result = serial_engine.run()
+
+    engine = DistributedEngine(
+        LuleshSimulation(size, maintain_field=False),
+        n_ranks=n_ranks,
+        policy="all",
+        name="distributed-sedov",
+    )
+    dist = [engine.add_analysis(a) for a in _analyses(size, total)]
+    result = engine.run()
+
+    print()
+    header = (
+        f"{'threshold':>10} {'radius':>7} {'stopped at':>11} "
+        f"{'coef delta':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for serial_analysis, dist_analysis in zip(serial, dist):
+        delta = float(
+            np.max(
+                np.abs(
+                    serial_analysis.model.coefficients
+                    - dist_analysis.model.coefficients
+                )
+            )
+        )
+        assert delta <= 1e-12, f"distributed run diverged by {delta:.3e}"
+        name = dist_analysis.name
+        assert result.stopped_at[name] == serial_result.stopped_at[name]
+        print(
+            f"{name.split('_')[1]:>10} "
+            f"{dist_analysis.final_feature().radius:>7} "
+            f"{result.stopped_at[name]:>11} {delta:>12.1e}"
+        )
+
+    # Mergeable collection: rank shards reassemble into the full store.
+    executor = engine.executor
+    merged = executor.merged_store(0)
+    full = dist[0].collector.store
+    assert np.array_equal(merged.matrix(), full.matrix())
+    stats = result.collection_stats[0]
+    widths = [s.locations.shape[0] for s in executor.shard_stores(0)]
+
+    print()
+    print(
+        f"shards per rank: {widths} locations "
+        f"(merge_shards round-trips the full {full.matrix().shape} store)"
+    )
+    print(
+        f"Chan-merged collection stats: {stats.count} samples, "
+        f"mean {stats.mean[0]:.4f} (matrix mean {full.matrix().mean():.4f})"
+    )
+    print(
+        f"communication ledger: {result.comm_seconds * 1e3:.3f} ms across "
+        f"{engine.comm.allreduce_count} allreduces, "
+        f"{engine.comm.broadcast_count} broadcasts, "
+        f"{engine.comm.gather_count} gathers"
+    )
+    print(
+        "per-rank sampling seconds: "
+        + ", ".join(f"{s:.4f}" for s in result.rank_sample_seconds)
+    )
+    print()
+    print("distributed run is bit-identical to the serial engine; the")
+    print("ledger carries the modelled cost of keeping it collective.")
+
+
+if __name__ == "__main__":
+    main()

@@ -72,6 +72,57 @@ class RunningStats:
         self.count = total
         self._std_cache = None
 
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Fold another partial aggregate into this one (Chan's merge).
+
+        This is the rank-reduction counterpart of :meth:`update`: two
+        aggregates built over disjoint sample sets combine into the
+        aggregate of their union, in O(width), without revisiting any
+        sample.  Merging an empty partial is the identity; merging into
+        an empty aggregate copies the other side.  Returns ``self`` so
+        reductions can fold left.
+        """
+        if not isinstance(other, RunningStats):
+            raise ConfigurationError(
+                f"can only merge RunningStats, got {type(other).__name__}"
+            )
+        if other.width != self.width:
+            raise ConfigurationError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+        if other.count == 0:
+            return self
+        if self.count == 0:
+            self.count = other.count
+            self._mean = other._mean.copy()
+            self._m2 = other._m2.copy()
+            self._std_cache = None
+            return self
+        n, k = self.count, other.count
+        total = n + k
+        delta = other._mean - self._mean
+        self._mean = self._mean + delta * (k / total)
+        self._m2 = self._m2 + other._m2 + delta * delta * (n * k / total)
+        self.count = total
+        self._std_cache = None
+        return self
+
+    @classmethod
+    def merged(cls, parts: "Sequence[RunningStats]") -> "RunningStats":
+        """Reduce a sequence of partial aggregates, left to right.
+
+        The distributed runtime merges per-rank partials in rank order;
+        Chan's merge is associative to rounding, so any bracketing
+        agrees within ~1e-12 (pinned by the regression tests).
+        """
+        parts = list(parts)
+        if not parts:
+            raise ConfigurationError("need at least one partial to merge")
+        out = cls(parts[0].width)
+        for part in parts:
+            out.merge(part)
+        return out
+
     @property
     def mean(self) -> np.ndarray:
         return self._mean.copy()
@@ -198,6 +249,21 @@ class ARModel:
     def updates(self) -> int:
         """Number of completed mini-batch updates."""
         return self._updates
+
+    @property
+    def x_stats(self) -> RunningStats:
+        """The feature normalisation aggregate (mergeable partial state).
+
+        Exposed so distributed reductions can fold per-rank partials via
+        :meth:`RunningStats.merge`; mutate only through ``update``/
+        ``merge`` or the fitted coefficients lose their scale.
+        """
+        return self._x_stats
+
+    @property
+    def y_stats(self) -> RunningStats:
+        """The target normalisation aggregate (mergeable partial state)."""
+        return self._y_stats
 
     @property
     def is_trained(self) -> bool:

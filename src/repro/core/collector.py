@@ -22,7 +22,7 @@ Two pairing modes cover the paper's two case studies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -111,8 +111,45 @@ class SeriesStore:
         """All rows stacked: shape ``(n_collected, n_locations)``.
 
         A zero-copy read-only view — O(1) however long the history is.
+        An empty store returns a well-shaped ``(0, n_locations)`` view,
+        so reducers over rank shards that never matched a temporal
+        window can treat every shard uniformly.
         """
         return _view(self._data[: self._n])
+
+    @classmethod
+    def merge_shards(cls, shards: "Sequence[SeriesStore]") -> "SeriesStore":
+        """Assemble one full-width store from per-rank column shards.
+
+        ``shards`` are rank-local stores over disjoint location blocks,
+        given in rank (== location) order; every shard must have
+        collected exactly the same iteration sequence — including the
+        empty sequence, and including zero-location shards from ranks
+        that own no part of the window.  The merged store's row at each
+        iteration is the concatenation of the shard rows, so it equals
+        the row a single full-window collector would have sampled.
+        """
+        shards = list(shards)
+        if not shards:
+            raise ConfigurationError("need at least one shard to merge")
+        iterations = shards[0].iterations
+        for shard in shards[1:]:
+            if not np.array_equal(shard.iterations, iterations):
+                raise CollectionError(
+                    "shard iteration sequences disagree: "
+                    f"{iterations.tolist()} vs {shard.iterations.tolist()}"
+                )
+        locations = np.concatenate([shard.locations for shard in shards])
+        n_rows = int(iterations.shape[0])
+        out = cls(locations, capacity=max(1, n_rows))
+        if n_rows:
+            out._data[:n_rows] = np.hstack(
+                [shard.matrix() for shard in shards]
+            )
+            out._iterations[:n_rows] = iterations
+            out._index = {int(it): i for i, it in enumerate(iterations)}
+            out._n = n_rows
+        return out
 
     def row_at(self, iteration: int) -> Optional[np.ndarray]:
         """Row collected at exactly ``iteration``, or None (O(1))."""

@@ -12,7 +12,7 @@ the paper's accuracy tables.
 from __future__ import annotations
 
 import abc
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -38,11 +38,24 @@ class Analysis(abc.ABC):
     Subclasses implement :meth:`on_iteration`, returning an optional
     :class:`StatusBroadcast` when there is news worth publishing (a
     threshold crossing, a convergence event).
+
+    ``wavefront_rank_of`` maps a spatial location to the rank that owns
+    it.  It defaults to None (single-process: everything is rank 0);
+    the distributed runtime wires the shard decomposition's owner
+    function in here, so status broadcasts carry the paper's "MPI rank
+    indicating the location of the wave front".
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.wants_stop = False
+        self.wavefront_rank_of: Optional[Callable[[int], int]] = None
+
+    def wavefront_rank(self, location: int) -> int:
+        """Owner rank of ``location`` (0 without a decomposition)."""
+        if self.wavefront_rank_of is None:
+            return 0
+        return int(self.wavefront_rank_of(int(location)))
 
     @abc.abstractmethod
     def on_iteration(self, domain: object, iteration: int) -> Optional[StatusBroadcast]:
@@ -216,7 +229,7 @@ class CurveFitting(Analysis):
         return StatusBroadcast(
             iteration=iteration,
             predicted_value=float(row[loc_index]),
-            wavefront_rank=0,
+            wavefront_rank=self.wavefront_rank(location),
             action=ACTION_CONTINUE,
         )
 

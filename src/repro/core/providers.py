@@ -38,7 +38,7 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
-from repro.errors import CollectionError
+from repro.errors import CollectionError, ConfigurationError
 
 ProviderFn = Callable[[object, int], float]
 
@@ -75,6 +75,49 @@ def batch_sample(
             f"{locations.shape[0]} locations"
         )
     return values
+
+
+class ShardView:
+    """A provider restricted to one rank's block of a spatial window.
+
+    The rank-local sampling unit of the distributed runtime: rank ``r``
+    holds a :class:`ShardView` over its slice of each declared window
+    and gathers *only those locations* from the domain each matching
+    iteration — the per-rank work that shrinks as ranks are added.  The
+    view carries ``__wrapped__`` so shared-collection grouping still
+    recognises the underlying provider, and it is picklable whenever
+    the wrapped provider is (the multiprocessing backend ships one per
+    worker).
+
+    An empty shard (a rank owning no locations) is legal and samples to
+    a ``(0,)`` array, so reductions can treat every rank uniformly.
+    """
+
+    def __init__(self, provider: ProviderFn, locations) -> None:
+        self.provider = provider
+        self.locations = np.asarray(locations, dtype=np.int64)
+        if self.locations.ndim != 1:
+            raise CollectionError(
+                f"shard locations must be 1-D, got shape "
+                f"{self.locations.shape}"
+            )
+        self.__wrapped__ = provider
+
+    @property
+    def n_locations(self) -> int:
+        return int(self.locations.shape[0])
+
+    def __call__(self, domain: object, location: int) -> float:
+        return float(self.provider(domain, int(location)))
+
+    def sample(self, domain: object) -> np.ndarray:
+        """Gather the shard's locations from ``domain`` in one call."""
+        return batch_sample(self.provider, domain, self.locations)
+
+
+def shard_view(provider: ProviderFn, locations) -> ShardView:
+    """Restrict ``provider`` to a block of locations (see :class:`ShardView`)."""
+    return ShardView(provider, locations)
 
 
 def provider_key(provider: ProviderFn) -> object:
@@ -188,6 +231,42 @@ def attribute_provider(attribute: str) -> ProviderFn:
 
     _provider.batch = _batch
     return _provider
+
+
+class HarmonicProvider:
+    """Synthetic *expensive* per-location provider for scaling studies.
+
+    Reads ``domain.row[location]`` (the replay-domain convention) and
+    refines each value with an ``n_harmonics``-term sine sum, so a
+    gather costs work proportional to the number of locations sampled
+    — the profile that lets a rank decomposition divide sampling time.
+    The refinement is location-local, which makes shard gathers
+    bit-identical to full-window sweeps; instances are picklable, so
+    the multiprocessing backend can ship them to worker ranks.  Used by
+    ``benchmarks/perf_distributed.py`` and the scaling cross-check.
+    """
+
+    def __init__(self, n_harmonics: int = 256) -> None:
+        if n_harmonics <= 0:
+            raise ConfigurationError(
+                f"n_harmonics must be positive, got {n_harmonics}"
+            )
+        self.harmonics = np.arange(1.0, float(n_harmonics) + 1.0)
+
+    def transform(self, values) -> np.ndarray:
+        x = np.atleast_1d(np.asarray(values, dtype=np.float64))
+        if x.size == 0:
+            return x.copy()
+        phases = np.sin(x[:, None] * self.harmonics[None, :])
+        return x + phases.sum(axis=1) / self.harmonics.shape[0]
+
+    def __call__(self, domain: object, location: int) -> float:
+        return float(self.transform(domain.row[int(location)])[0])
+
+    def batch(self, domain: object, locations: np.ndarray) -> np.ndarray:
+        return self.transform(
+            domain.row[np.asarray(locations, dtype=np.int64)]
+        )
 
 
 def scalar_provider(attribute: str) -> ProviderFn:

@@ -16,12 +16,32 @@ Three layers (bottom-up):
   ``any``/``all``/``quorum`` termination policy;
   :class:`InSituEngine` couples a scheduler to an app and runs the
   instrumented main loop.
+* **Distribution** (:mod:`repro.engine.distributed`) —
+  :class:`DistributedEngine` shards every collection group's spatial
+  window over ranks, reduces the rank-local shard rows and Chan-merged
+  partial statistics back through the communicator, and keeps the
+  termination decision collective.  Two backends behind one
+  :class:`RankExecutor` protocol: the deterministic ``"simcomm"``
+  cost-ledger backend and a real ``"multiprocessing"`` pool.
 
 The legacy :class:`~repro.core.region.Region` and the ``td_*`` C-style
 facade remain as thin compatibility wrappers over the scheduler.
 """
 
 from repro.engine.collection import CollectionGroup, SharedCollector
+from repro.engine.distributed import (
+    BACKEND_MULTIPROCESSING,
+    BACKEND_SIMCOMM,
+    BACKENDS,
+    DistributedEngine,
+    DistributedResult,
+    GroupPlan,
+    MultiprocessExecutor,
+    RankCollector,
+    RankExecutor,
+    SimCommExecutor,
+    plan_groups,
+)
 from repro.engine.scheduler import (
     POLICIES,
     POLICY_ALL,
@@ -42,6 +62,9 @@ from repro.engine.workload import (
 )
 
 __all__ = [
+    "BACKEND_MULTIPROCESSING",
+    "BACKEND_SIMCOMM",
+    "BACKENDS",
     "POLICIES",
     "POLICY_ALL",
     "POLICY_ANY",
@@ -49,13 +72,21 @@ __all__ = [
     "AnalysisScheduler",
     "AnalysisState",
     "CollectionGroup",
+    "DistributedEngine",
+    "DistributedResult",
     "EngineResult",
+    "GroupPlan",
     "InSituEngine",
     "LuleshApp",
+    "MultiprocessExecutor",
+    "RankCollector",
+    "RankExecutor",
     "ReplayApp",
     "SharedCollector",
+    "SimCommExecutor",
     "SimulationApp",
     "WdMergerApp",
     "as_simulation_app",
+    "plan_groups",
     "replay_provider",
 ]

@@ -37,7 +37,17 @@ def _window_key(param: IterParam) -> Tuple[int, int, int]:
 
 @dataclass
 class CollectionGroup:
-    """One shared sampling unit: a store plus its subscribed collectors."""
+    """One shared sampling unit: a store plus its subscribed collectors.
+
+    The distributed runtime shards groups, not collectors: every
+    subscriber of a group reads the same ``(provider, spatial,
+    temporal)`` window, so the group is the unit whose locations are
+    block-decomposed over ranks and whose rows are reduced back.  The
+    convenience accessors below expose the shared window facts the
+    shard planner needs; they all delegate to the first subscriber,
+    which is also the collector a serial dispatch would have sampled
+    through.
+    """
 
     store: SeriesStore
     collectors: List[DataCollector] = field(default_factory=list)
@@ -45,6 +55,21 @@ class CollectionGroup:
     @property
     def n_subscribers(self) -> int:
         return len(self.collectors)
+
+    @property
+    def provider(self):
+        """The provider the group samples through (first subscriber's)."""
+        return self.collectors[0].provider
+
+    @property
+    def temporal(self) -> IterParam:
+        """The temporal window shared by every subscriber."""
+        return self.collectors[0].temporal
+
+    @property
+    def locations(self):
+        """Location ids of the shared spatial window (int64 array)."""
+        return self.store.locations
 
 
 class SharedCollector:

@@ -1,0 +1,885 @@
+"""Distributed rank-parallel runtime: shard the engine over ranks.
+
+The paper runs feature extraction *in situ on real MPI ranks*: every
+rank samples the part of the domain it owns, partial statistics are
+reduced, and status broadcasts keep all processes synchronized on the
+threshold-detection and termination decisions.  This module is that
+runtime for our substrate.  :class:`DistributedEngine` drives the same
+analyses as the serial :class:`~repro.engine.scheduler.InSituEngine`,
+but the collection plane is sharded:
+
+* each collection group's spatial window is block-decomposed over
+  ranks (:class:`~repro.parallel.decomposition.BlockDecomposition`);
+* every rank owns a :class:`RankCollector` — shard-restricted provider
+  views (:class:`~repro.core.providers.ShardView`), a rank-local
+  :class:`~repro.core.collector.SeriesStore` over its shard columns,
+  and a Chan-mergeable :class:`~repro.core.ar_model.RunningStats`
+  partial over its samples;
+* per matching iteration the full-width row is reduced from the rank
+  shards (an ``allreduce_array`` over the communicator, or a pipe
+  gather from worker processes) and lands in the group's shared store,
+  so training consumes exactly the rows a serial run would have seen —
+  fit coefficients and stop iterations are bit-identical;
+* the termination decision is collective: the scheduler's stop flag
+  passes through an allreduce every iteration (``stop_reducer``), and
+  status events still flow through the broadcast path.
+
+Two execution backends ship behind the :class:`RankExecutor` protocol:
+
+``"simcomm"``
+    Deterministic in-process backend.  All ranks share one live
+    simulation; rank-local sampling runs serialized while every
+    collective charges its modelled cost to the
+    :class:`~repro.parallel.comm.SimComm` ledger.  This is the
+    backend the equivalence tests and the scaling experiment use.
+
+``"multiprocessing"``
+    A real process pool for wall-clock speedup on wide-spatial
+    scenarios.  Worker ranks step their own deterministic replica of
+    the simulation (``app_factory`` must be picklable) and stream
+    their shard rows back in chunks; the parent assembles rows, trains
+    and decides termination, then reduces the workers' partial
+    statistics at shutdown.  Results match the serial engine because
+    row assembly is a pure concatenation of shard gathers.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
+
+import numpy as np
+
+from repro.core.ar_model import RunningStats
+from repro.core.collector import SeriesStore
+from repro.core.curve_fitting import Analysis
+from repro.core.params import IterParam
+from repro.core.providers import ShardView
+from repro.engine.collection import CollectionGroup, SharedCollector
+from repro.engine.scheduler import (
+    POLICY_ANY,
+    AnalysisScheduler,
+    EngineResult,
+)
+from repro.engine.workload import SimulationApp, as_simulation_app
+from repro.errors import (
+    CollectionError,
+    CommunicatorError,
+    ConfigurationError,
+)
+from repro.parallel.comm import SimComm
+from repro.parallel.decomposition import BlockDecomposition
+
+#: Execution backend names.
+BACKEND_SIMCOMM = "simcomm"
+BACKEND_MULTIPROCESSING = "multiprocessing"
+BACKENDS = (BACKEND_SIMCOMM, BACKEND_MULTIPROCESSING)
+
+
+# ----------------------------------------------------------------------
+# shard planning
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class GroupPlan:
+    """Shard plan of one collection group across the communicator.
+
+    ``shards[r]`` holds the domain location ids rank ``r`` owns — a
+    contiguous block of the group's (ascending) spatial window, so the
+    concatenation of the shard rows in rank order *is* the full-window
+    row.  Ranks past the window width own empty shards.
+    """
+
+    index: int
+    group: CollectionGroup
+    decomposition: BlockDecomposition
+    shards: List[np.ndarray]
+
+    @property
+    def locations(self) -> np.ndarray:
+        return self.group.locations
+
+    @property
+    def temporal(self) -> IterParam:
+        return self.group.temporal
+
+    @property
+    def provider(self):
+        return self.group.provider
+
+    @property
+    def store(self) -> SeriesStore:
+        return self.group.store
+
+    @property
+    def width(self) -> int:
+        return int(self.group.locations.shape[0])
+
+    def owner_of_location(self, location: int) -> int:
+        """Rank owning ``location`` (clipped to the window's edge ranks).
+
+        Locations outside the window map to the nearest window edge —
+        the paper's wavefront-rank broadcasts need an owner even when
+        the front has run past the collected window.
+        """
+        locs = self.group.locations
+        position = int(np.searchsorted(locs, int(location)))
+        position = min(max(position, 0), locs.shape[0] - 1)
+        return self.decomposition.owner(position)
+
+
+def plan_groups(shared: SharedCollector, n_ranks: int) -> List[GroupPlan]:
+    """Block-decompose every collection group's window over ``n_ranks``."""
+    if n_ranks <= 0:
+        raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
+    plans = []
+    for index, group in enumerate(shared.groups):
+        locations = group.locations
+        decomposition = BlockDecomposition(
+            int(locations.shape[0]), n_ranks
+        )
+        shards = [
+            locations[decomposition.slice_for(rank)]
+            for rank in range(n_ranks)
+        ]
+        plans.append(GroupPlan(index, group, decomposition, shards))
+    return plans
+
+
+class RankCollector:
+    """One rank's collection state: shard views, stores and partials.
+
+    This is the rank-local face of the shared-collection layer — what a
+    :class:`~repro.engine.collection.SharedCollector` owns on a real
+    MPI rank: per group, a shard-restricted provider view, a
+    :class:`SeriesStore` covering only the shard's columns, and a
+    width-1 :class:`RunningStats` partial folding every value the rank
+    has sampled (the aggregate Chan-merged across ranks at shutdown).
+    """
+
+    def __init__(self, rank: int, plans: Sequence[GroupPlan]) -> None:
+        self.rank = rank
+        self.views = [
+            ShardView(plan.provider, plan.shards[rank]) for plan in plans
+        ]
+        self.stores = [
+            SeriesStore(plan.shards[rank], capacity=plan.temporal.count)
+            for plan in plans
+        ]
+        self.stats = [RunningStats(1) for _ in plans]
+        self.sample_seconds = 0.0
+
+    def collect(self, domain: object, iteration: int, group: int) -> np.ndarray:
+        """Gather this rank's shard of one group at one iteration."""
+        tick = time.perf_counter()
+        part = self.views[group].sample(domain)
+        self.sample_seconds += time.perf_counter() - tick
+        self.stores[group].add_row(iteration, part)
+        if part.size:
+            self.stats[group].update(part.reshape(-1, 1))
+        return part
+
+
+# ----------------------------------------------------------------------
+# execution backends
+# ----------------------------------------------------------------------
+
+
+class RankExecutor(Protocol):
+    """Protocol both execution backends implement.
+
+    ``advance`` steps the engine-visible simulation by one iteration
+    and returns the assembled full-width row of every group it sampled
+    (a superset of what the engine will consume is allowed — the
+    multiprocessing backend freezes the active set per chunk).
+    ``reduce_stats`` folds the per-rank collection partials into one
+    aggregate per group, in rank order.
+    """
+
+    n_ranks: int
+    last_step_seconds: float
+
+    def start(self) -> None: ...
+
+    def advance(
+        self, iteration: int, active: Sequence[int]
+    ) -> Dict[int, np.ndarray]: ...
+
+    def reduce_stats(self) -> List[RunningStats]: ...
+
+    def rank_sample_seconds(self) -> np.ndarray: ...
+
+    def close(self) -> None: ...
+
+
+class SimCommExecutor:
+    """Deterministic in-process backend over a :class:`SimComm`.
+
+    All ranks observe the single live app; their shard gathers run
+    serialized (timed per rank, so the scaling experiment can take the
+    max over ranks as the parallel sampling time) and the row assembly
+    is an ``allreduce_array`` of zero-padded shard contributions,
+    charged byte-accurately to the communicator ledger.
+    """
+
+    def __init__(
+        self, app: SimulationApp, plans: Sequence[GroupPlan], comm: SimComm
+    ) -> None:
+        self.app = app
+        self.plans = list(plans)
+        self.comm = comm
+        self.n_ranks = comm.size
+        self.ranks = [RankCollector(r, self.plans) for r in range(comm.size)]
+        self.last_step_seconds = 0.0
+        # Column offset of each rank's shard inside the full window.
+        self._offsets = [
+            np.cumsum([0] + [plan.shards[r].shape[0] for r in range(comm.size)])
+            for plan in self.plans
+        ]
+
+    def start(self) -> None:
+        pass
+
+    def advance(
+        self, iteration: int, active: Sequence[int]
+    ) -> Dict[int, np.ndarray]:
+        tick = time.perf_counter()
+        self.app.step()
+        self.last_step_seconds = time.perf_counter() - tick
+        domain = self.app.domain
+        rows: Dict[int, np.ndarray] = {}
+        for g in active:
+            plan = self.plans[g]
+            if not plan.temporal.matches(iteration):
+                continue
+            width = plan.width
+            offsets = self._offsets[g]
+            contributions = []
+            for rank in self.ranks:
+                part = rank.collect(domain, iteration, g)
+                padded = np.zeros(width, dtype=np.float64)
+                padded[offsets[rank.rank]: offsets[rank.rank + 1]] = part
+                contributions.append(padded)
+            rows[g] = self.comm.allreduce_array(contributions, op="sum")
+        return rows
+
+    def shard_stores(self, group: int) -> List[SeriesStore]:
+        """Rank-local stores of one group, in rank order."""
+        return [rank.stores[group] for rank in self.ranks]
+
+    def merged_store(self, group: int) -> SeriesStore:
+        """Reassemble the full store from the rank shards (Chan-style)."""
+        return SeriesStore.merge_shards(self.shard_stores(group))
+
+    def reduce_stats(self) -> List[RunningStats]:
+        merged = []
+        for g in range(len(self.plans)):
+            partials = self.comm.gather(
+                [rank.stats[g] for rank in self.ranks]
+            )
+            stats = RunningStats.merged(partials)
+            merged.append(self.comm.bcast_obj(stats))
+        return merged
+
+    def rank_sample_seconds(self) -> np.ndarray:
+        return np.array(
+            [rank.sample_seconds for rank in self.ranks], dtype=np.float64
+        )
+
+    def close(self) -> None:
+        pass
+
+
+@dataclass(frozen=True)
+class _WorkerGroupSpec:
+    """Picklable description of one group shard a worker owns."""
+
+    provider: object
+    locations: np.ndarray
+    temporal: IterParam
+
+
+@dataclass(frozen=True)
+class _WorkerTask:
+    """Everything a worker rank needs to run its collection loop."""
+
+    rank: int
+    app_factory: Callable[[], object]
+    groups: List[_WorkerGroupSpec]
+    max_iterations: int
+
+
+def _shard_worker(conn, task: _WorkerTask) -> None:
+    """Worker-rank main loop: step a replica, stream shard rows back.
+
+    Protocol (parent -> worker): ``("advance", n, active)`` requests up
+    to ``n`` more iterations sampling the groups in ``active``;
+    ``("finish",)`` requests the sampling time and ends the loop.
+    Replies: ``("rows", [(iteration, [part-or-None per group]), ...])``
+    and ``("stats", sample_seconds)``.  Workers do *not* fold partial
+    statistics — chunked prefetch may sample iterations the parent
+    never consumes (a mid-chunk stop), so the parent folds each rank's
+    partial from the shard parts it actually uses.
+    """
+    app = as_simulation_app(task.app_factory())
+    views = [
+        ShardView(spec.provider, spec.locations) for spec in task.groups
+    ]
+    sample_seconds = 0.0
+    iteration = 0
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "advance":
+                _, budget, active = message
+                payload = []
+                for _ in range(budget):
+                    if app.done or iteration >= task.max_iterations:
+                        break
+                    iteration += 1
+                    app.step()
+                    parts: List[Optional[np.ndarray]] = []
+                    for g, (spec, view) in enumerate(zip(task.groups, views)):
+                        if g in active and spec.temporal.matches(iteration):
+                            tick = time.perf_counter()
+                            part = view.sample(app.domain)
+                            sample_seconds += time.perf_counter() - tick
+                            parts.append(part)
+                        else:
+                            parts.append(None)
+                    payload.append((iteration, parts))
+                conn.send(("rows", payload))
+            elif message[0] == "finish":
+                conn.send(("stats", sample_seconds))
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise CommunicatorError(
+                    f"unknown worker command {message[0]!r}"
+                )
+    except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
+        pass
+    finally:
+        conn.close()
+
+
+class MultiprocessExecutor:
+    """Process-pool backend: worker ranks sample shards of replicas.
+
+    Rank 0 is the parent: it steps the engine-visible app (so analyses
+    can read the live domain), samples its own shard, and assembles
+    full rows by concatenating the shard parts streamed back from
+    worker ranks 1..R-1 over pipes.  Worker requests are chunked
+    (``chunk`` iterations per round trip) to amortize IPC; the active
+    group set is frozen per chunk, which only ever *over*-collects —
+    the engine consumes rows by its own per-iteration active set, so
+    results are unaffected.
+    """
+
+    def __init__(
+        self,
+        app: SimulationApp,
+        plans: Sequence[GroupPlan],
+        *,
+        n_ranks: int,
+        app_factory: Callable[[], object],
+        max_iterations: int,
+        chunk: int = 8,
+    ) -> None:
+        if chunk <= 0:
+            raise ConfigurationError(f"chunk must be positive, got {chunk}")
+        self.app = app
+        self.plans = list(plans)
+        self.n_ranks = n_ranks
+        self.app_factory = app_factory
+        self.max_iterations = max_iterations
+        self.chunk = chunk
+        self.last_step_seconds = 0.0
+        self._views0 = [
+            ShardView(plan.provider, plan.shards[0]) for plan in self.plans
+        ]
+        self._rank0_seconds = 0.0
+        # Per-rank partial statistics, folded by the parent from the
+        # shard parts the engine actually consumes — chunked prefetch
+        # over-collects past a mid-chunk stop, and those rows must not
+        # leak into the reduced aggregates.
+        self._rank_stats = [
+            [RunningStats(1) for _ in self.plans] for _ in range(n_ranks)
+        ]
+        self._buffer: deque = deque()
+        self._chunk_active: tuple = ()
+        self._processes: list = []
+        self._conns: list = []
+        self._worker_seconds: Optional[List[float]] = None
+
+    def start(self) -> None:
+        import multiprocessing
+
+        if self.n_ranks == 1:
+            return
+        method = (
+            "fork"
+            if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        ctx = multiprocessing.get_context(method)
+        tasks = [
+            _WorkerTask(
+                rank=rank,
+                app_factory=self.app_factory,
+                groups=[
+                    _WorkerGroupSpec(
+                        provider=plan.provider,
+                        locations=plan.shards[rank],
+                        temporal=plan.temporal,
+                    )
+                    for plan in self.plans
+                ],
+                max_iterations=self.max_iterations,
+            )
+            for rank in range(1, self.n_ranks)
+        ]
+        for task in tasks:
+            try:
+                pickle.dumps(task)
+            except Exception as exc:
+                raise ConfigurationError(
+                    "the multiprocessing backend ships the app factory and "
+                    "providers to worker ranks, so both must be picklable "
+                    "(module-level callables, functools.partial of classes); "
+                    f"pickling rank {task.rank}'s task failed: {exc}"
+                ) from exc
+        for task in tasks:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_shard_worker, args=(child_conn, task), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            self._conns.append(parent_conn)
+
+    def _recv(self, conn, expected: str):
+        try:
+            reply = conn.recv()
+        except EOFError as exc:
+            raise CommunicatorError(
+                "a worker rank died before replying (its traceback is on "
+                "stderr); the simulation replica or a provider likely raised"
+            ) from exc
+        if reply[0] != expected:
+            raise CommunicatorError(
+                f"worker protocol desync: expected {expected!r}, "
+                f"got {reply[0]!r}"
+            )
+        return reply
+
+    def _prefetch(self, active: Sequence[int]) -> None:
+        frozen = tuple(sorted(active))
+        for conn in self._conns:
+            conn.send(("advance", self.chunk, frozen))
+        payloads = [self._recv(conn, "rows")[1] for conn in self._conns]
+        lengths = {len(p) for p in payloads}
+        if len(lengths) > 1:
+            raise CommunicatorError(
+                f"worker replicas diverged: chunk lengths {sorted(lengths)}"
+            )
+        for entries in zip(*payloads):
+            iterations = {it for it, _ in entries}
+            if len(iterations) > 1:
+                raise CommunicatorError(
+                    f"worker replicas diverged: iterations {sorted(iterations)}"
+                )
+            self._buffer.append(
+                (entries[0][0], [parts for _, parts in entries])
+            )
+        self._chunk_active = frozen
+
+    def advance(
+        self, iteration: int, active: Sequence[int]
+    ) -> Dict[int, np.ndarray]:
+        if self._conns and not self._buffer:
+            self._prefetch(active)
+        tick = time.perf_counter()
+        self.app.step()
+        self.last_step_seconds = time.perf_counter() - tick
+        if self._conns:
+            buffered_iteration, worker_parts = self._buffer.popleft()
+            if buffered_iteration != iteration:
+                raise CommunicatorError(
+                    f"rank 0 is at iteration {iteration} but workers "
+                    f"delivered {buffered_iteration}"
+                )
+            chunk_active = self._chunk_active
+        else:
+            worker_parts = []
+            chunk_active = tuple(sorted(active))
+        domain = self.app.domain
+        rows: Dict[int, np.ndarray] = {}
+        consumed = set(active)
+        for g in chunk_active:
+            plan = self.plans[g]
+            if not plan.temporal.matches(iteration):
+                continue
+            tick = time.perf_counter()
+            part0 = self._views0[g].sample(domain)
+            self._rank0_seconds += time.perf_counter() - tick
+            parts = [part0]
+            for worker in worker_parts:
+                if worker[g] is None:
+                    raise CommunicatorError(
+                        f"worker replicas diverged: no shard row for group "
+                        f"{g} at iteration {iteration}"
+                    )
+                parts.append(worker[g])
+            rows[g] = np.concatenate(parts)
+            if g in consumed:
+                for rank, part in enumerate(parts):
+                    if part.size:
+                        self._rank_stats[rank][g].update(
+                            part.reshape(-1, 1)
+                        )
+        return rows
+
+    def _finish_workers(self) -> None:
+        if self._worker_seconds is not None or not self._conns:
+            if self._worker_seconds is None:
+                self._worker_seconds = []
+            return
+        seconds = []
+        for conn in self._conns:
+            conn.send(("finish",))
+            seconds.append(self._recv(conn, "stats")[1])
+        self._worker_seconds = seconds
+        for process in self._processes:
+            process.join(timeout=10.0)
+
+    def reduce_stats(self) -> List[RunningStats]:
+        self._finish_workers()
+        return [
+            RunningStats.merged(
+                [self._rank_stats[rank][g] for rank in range(self.n_ranks)]
+            )
+            for g in range(len(self.plans))
+        ]
+
+    def rank_sample_seconds(self) -> np.ndarray:
+        self._finish_workers()
+        return np.array(
+            [self._rank0_seconds] + list(self._worker_seconds or []),
+            dtype=np.float64,
+        )
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=10.0)
+        self._processes = []
+        self._conns = []
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class DistributedResult(EngineResult):
+    """Outcome of one :meth:`DistributedEngine.run`.
+
+    Extends the serial :class:`EngineResult` with the rank dimension:
+    the modelled communication time charged during the run, per-rank
+    sampling seconds (their max is the parallel sampling wall time the
+    scaling cross-check compares against the model), and one
+    Chan-merged :class:`RunningStats` aggregate per collection group.
+    """
+
+    n_ranks: int = 1
+    backend: str = BACKEND_SIMCOMM
+    comm_seconds: float = 0.0
+    rank_sample_seconds: Optional[np.ndarray] = None
+    collection_stats: List[RunningStats] = field(default_factory=list)
+    group_locations: List[np.ndarray] = field(default_factory=list)
+
+    @property
+    def max_rank_sample_seconds(self) -> float:
+        """Sampling wall time of the slowest rank (0.0 with no ranks)."""
+        if self.rank_sample_seconds is None or not self.rank_sample_seconds.size:
+            return 0.0
+        return float(self.rank_sample_seconds.max())
+
+
+class DistributedEngine:
+    """Drives N in-situ analyses over one simulation, sharded over ranks.
+
+    Results are bit-identical to the serial
+    :class:`~repro.engine.scheduler.InSituEngine` on the same scenario:
+    the assembled full-width rows equal the serial provider sweeps, so
+    every trainer consumes the same sample stream, and the collective
+    stop latches at the same iteration on every rank.
+
+    Parameters
+    ----------
+    app:
+        The live simulation (or anything
+        :func:`~repro.engine.workload.as_simulation_app` accepts).  May
+        be omitted when ``app_factory`` is given.
+    n_ranks:
+        Communicator size.  Defaults to ``comm.size`` when a
+        communicator is passed.
+    backend:
+        ``"simcomm"`` (deterministic, cost-ledger timing) or
+        ``"multiprocessing"`` (real worker processes; needs a picklable
+        ``app_factory`` and providers).
+    comm:
+        Optional :class:`SimComm`; built from ``n_ranks`` by default.
+        Ignored by the multiprocessing backend (real processes do not
+        share a simulated clock).
+    app_factory:
+        Zero-argument callable building a fresh deterministic replica
+        of the simulation.  Required by the multiprocessing backend.
+    policy, quorum, record_timings, name:
+        As for :class:`~repro.engine.scheduler.InSituEngine`.
+    chunk:
+        Multiprocessing only: iterations per worker round trip.
+    """
+
+    def __init__(
+        self,
+        app: Optional[SimulationApp] = None,
+        *,
+        n_ranks: Optional[int] = None,
+        backend: str = BACKEND_SIMCOMM,
+        comm: Optional[SimComm] = None,
+        app_factory: Optional[Callable[[], object]] = None,
+        policy: str = POLICY_ANY,
+        quorum: Optional[Union[int, float]] = None,
+        record_timings: bool = False,
+        chunk: int = 8,
+        name: str = "distributed-engine",
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        self.backend = backend
+        self.name = name
+        self.record_timings = record_timings
+        self.chunk = chunk
+        self.app_factory = app_factory
+        if app is None:
+            if app_factory is None:
+                raise ConfigurationError(
+                    "need an app or an app_factory to drive"
+                )
+            app = app_factory()
+        self.app = as_simulation_app(app)
+        if backend == BACKEND_SIMCOMM:
+            if comm is None:
+                comm = SimComm(1 if n_ranks is None else n_ranks)
+            elif n_ranks is not None and comm.size != n_ranks:
+                raise ConfigurationError(
+                    f"n_ranks ({n_ranks}) disagrees with comm.size "
+                    f"({comm.size})"
+                )
+            self.comm: Optional[SimComm] = comm
+            self.n_ranks = comm.size
+        else:
+            if app_factory is None:
+                raise ConfigurationError(
+                    "the multiprocessing backend steps a replica per worker "
+                    "rank and needs a picklable app_factory"
+                )
+            if comm is not None:
+                raise ConfigurationError(
+                    "the multiprocessing backend runs real processes; a "
+                    "simulated communicator does not apply"
+                )
+            if n_ranks is None or n_ranks <= 0:
+                raise ConfigurationError(
+                    f"n_ranks must be a positive int, got {n_ranks}"
+                )
+            self.comm = None
+            self.n_ranks = int(n_ranks)
+        stop_reducer = None
+        if self.comm is not None:
+            comm_ref = self.comm
+
+            def stop_reducer(flag: bool) -> bool:
+                return comm_ref.allreduce(1.0 if flag else 0.0, "max") > 0.0
+
+        self.scheduler = AnalysisScheduler(
+            comm=self.comm,
+            policy=policy,
+            quorum=quorum,
+            record_timings=record_timings,
+            stop_reducer=stop_reducer,
+        )
+        self.iteration = 0
+        self._step_timings: List[float] = []
+        self._stepped = 0.0
+        self._ran = False
+        self._plans: Optional[List[GroupPlan]] = None
+        self._last_executor: Optional[RankExecutor] = None
+
+    def add_analysis(self, analysis: Analysis) -> Analysis:
+        """Attach an analysis; returns it for chaining."""
+        return self.scheduler.add_analysis(analysis)
+
+    @property
+    def analyses(self):
+        return self.scheduler.analyses
+
+    @property
+    def broadcaster(self):
+        return self.scheduler.broadcaster
+
+    @property
+    def stop_requested(self) -> bool:
+        return self.scheduler.stop_requested
+
+    @property
+    def executor(self) -> Optional[RankExecutor]:
+        """The executor of the most recent run (simcomm keeps shard state)."""
+        return self._last_executor
+
+    # ------------------------------------------------------------------
+
+    def _wire_wavefront_ranks(self, plans: Sequence[GroupPlan]) -> None:
+        """Point each analysis's wavefront-rank hook at its shard plan."""
+        by_collector = {}
+        for plan in plans:
+            for collector in plan.group.collectors:
+                by_collector[id(collector)] = plan
+        for state in self.scheduler.states:
+            collector = getattr(state.analysis, "collector", None)
+            plan = by_collector.get(id(collector))
+            if plan is not None:
+                state.analysis.wavefront_rank_of = plan.owner_of_location
+
+    def _make_executor(
+        self, plans: Sequence[GroupPlan], limit: int
+    ) -> RankExecutor:
+        if self.backend == BACKEND_SIMCOMM:
+            return SimCommExecutor(self.app, plans, self.comm)
+        return MultiprocessExecutor(
+            self.app,
+            plans,
+            n_ranks=self.n_ranks,
+            app_factory=self.app_factory,
+            max_iterations=limit,
+            chunk=self.chunk,
+        )
+
+    def run(self, *, max_iterations: Optional[int] = None) -> DistributedResult:
+        """Run until done / collective termination / the iteration limit."""
+        app = self.app
+        limit = app.max_iterations if max_iterations is None else max_iterations
+        if limit < 0:
+            raise ConfigurationError(
+                f"max_iterations must be >= 0, got {limit}"
+            )
+        if self.backend == BACKEND_MULTIPROCESSING and self._ran:
+            raise ConfigurationError(
+                "the multiprocessing backend cannot resume: worker replicas "
+                "restart from iteration 0 and would diverge from the parent"
+            )
+        self._ran = True
+        if self._plans is None:
+            self._plans = plan_groups(self.scheduler.shared, self.n_ranks)
+            self._wire_wavefront_ranks(self._plans)
+        elif self.scheduler.shared.n_groups != len(self._plans):
+            # The rank shards (and, for simcomm, the executor's shard
+            # stores) were planned on the first run; a new collection
+            # group would silently escape them.
+            raise ConfigurationError(
+                "analyses cannot be attached between distributed runs; "
+                "attach everything before the first run() or build a "
+                "fresh engine"
+            )
+        plans = self._plans
+        plan_states = [
+            [
+                state
+                for state in self.scheduler.states
+                if getattr(state.analysis, "collector", None)
+                in plan.group.collectors
+            ]
+            for plan in plans
+        ]
+        # The simcomm executor carries the rank-local shard stores and
+        # partials, which must span resumed runs; it is created once
+        # and reused.  Multiprocessing executors are per-run (resume is
+        # rejected above).
+        if (
+            self.backend == BACKEND_SIMCOMM
+            and self._last_executor is not None
+        ):
+            executor = self._last_executor
+        else:
+            executor = self._make_executor(plans, limit)
+            self._last_executor = executor
+        terminated = self.scheduler.stop_requested
+        start = time.perf_counter()
+        try:
+            executor.start()
+            while not terminated and not app.done and self.iteration < limit:
+                self.iteration += 1
+                active = [
+                    plan.index
+                    for plan, states in zip(plans, plan_states)
+                    if any(state.active for state in states)
+                ]
+                rows = executor.advance(self.iteration, active)
+                for g in active:
+                    row = rows.get(g)
+                    if row is None:
+                        continue
+                    if not np.all(np.isfinite(row)):
+                        raise CollectionError(
+                            "non-finite sample collected at iteration "
+                            f"{self.iteration}"
+                        )
+                    plans[g].store.add_row(self.iteration, row)
+                if self.record_timings:
+                    self._stepped += executor.last_step_seconds
+                    self._step_timings.append(self._stepped)
+                keep_going = self.scheduler.dispatch(
+                    app.domain, self.iteration
+                )
+                if not keep_going:
+                    terminated = True
+            collection_stats = executor.reduce_stats()
+            rank_seconds = executor.rank_sample_seconds()
+        finally:
+            executor.close()
+        return DistributedResult(
+            iterations=self.iteration,
+            terminated_early=terminated,
+            stopped_at=self.scheduler.stopped_at(),
+            summaries=self.scheduler.summaries(),
+            seconds=time.perf_counter() - start,
+            step_seconds=(
+                np.asarray(self._step_timings, dtype=np.float64)
+                if self.record_timings
+                else None
+            ),
+            analysis_seconds=self.scheduler.analysis_seconds(),
+            n_ranks=self.n_ranks,
+            backend=self.backend,
+            comm_seconds=(
+                self.comm.charged_seconds if self.comm is not None else 0.0
+            ),
+            rank_sample_seconds=rank_seconds,
+            collection_stats=collection_stats,
+            group_locations=[plan.locations.copy() for plan in plans],
+        )

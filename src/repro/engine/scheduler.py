@@ -33,7 +33,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -89,6 +89,15 @@ class AnalysisScheduler:
         is dispatched first each iteration, so that subscriber carries
         the (small — one provider call per window location) sampling
         cost for the whole group.
+    stop_reducer:
+        Optional collective agreement hook for the termination
+        decision.  When set, every dispatch passes its local
+        "policy satisfied" flag through ``stop_reducer(flag) -> bool``
+        and stops only on the reduced verdict — the distributed runtime
+        plugs an allreduce over the communicator in here, so all ranks
+        latch the stop at the same iteration and the per-iteration
+        agreement cost lands on the comm ledger.  Serial engines leave
+        it None (local decision, zero overhead).
     """
 
     def __init__(
@@ -99,6 +108,7 @@ class AnalysisScheduler:
         quorum: Optional[Union[int, float]] = None,
         shared: Optional[SharedCollector] = None,
         record_timings: bool = False,
+        stop_reducer: Optional[Callable[[bool], bool]] = None,
     ) -> None:
         if policy not in POLICIES:
             raise ConfigurationError(
@@ -124,6 +134,7 @@ class AnalysisScheduler:
         self.policy = policy
         self.quorum = quorum
         self.record_timings = record_timings
+        self.stop_reducer = stop_reducer
         self.broadcaster = StatusBroadcaster(comm)
         self.shared = shared if shared is not None else SharedCollector()
         self._states: List[AnalysisState] = []
@@ -217,7 +228,10 @@ class AnalysisScheduler:
                     state.stopped_at = iteration
             if state.analysis.wants_stop and state.active:
                 state.stopped_at = iteration
-        if self._policy_satisfied():
+        satisfied = self._policy_satisfied()
+        if self.stop_reducer is not None and not self._stop_requested:
+            satisfied = bool(self.stop_reducer(satisfied))
+        if satisfied:
             self._stop_requested = True
         return not self._stop_requested
 

@@ -11,14 +11,24 @@ README.md).  A configuration's reported time combines:
 * an Amdahl OpenMP speedup on the remaining per-rank work;
 * the per-iteration broadcast charges accumulated by the simulated
   communicator (the feature-extraction overhead channel).
+
+Since the distributed runtime landed, the model is no longer the only
+source of scaling numbers: :func:`distributed_crosscheck` runs the
+SimComm-backed :class:`~repro.engine.distributed.DistributedEngine` on
+a synthetic wide-spatial scenario and compares the *measured* sharded
+sampling time (the slowest rank's gather seconds plus the charged
+communication ledger) against the model's ideal-division prediction,
+so modeled and measured speedups validate each other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 import numpy as np
 
+from repro.core.providers import HarmonicProvider
 from repro.errors import ConfigurationError
 from repro.parallel.cost_model import CommCostModel, ThreadingModel
 
@@ -82,3 +92,103 @@ class ScalingModel:
         compute = serial_seconds / ranks
         compute = self.threading.scaled_time(compute, threads)
         return compute + self.halo_time(ranks)
+
+
+# ----------------------------------------------------------------------
+# measured distributed runs vs the model
+# ----------------------------------------------------------------------
+
+#: Synthetic heavy provider: per-location harmonic refinement whose
+#: cost is proportional to the gathered block width (location-local,
+#: so shard gathers are bit-identical to full-window sweeps).
+_crosscheck_provider = HarmonicProvider(256)
+
+
+def distributed_crosscheck(
+    *,
+    n_locations: int = 256,
+    n_iterations: int = 160,
+    ranks: Sequence[int] = (1, 2, 4, 8),
+    order: int = 3,
+    seed: int = 11,
+) -> List[dict]:
+    """Cross-check modeled speedups against measured distributed runs.
+
+    Runs one wide-spatial scenario through the SimComm-backed
+    :class:`~repro.engine.distributed.DistributedEngine` at each rank
+    count.  Per configuration the row reports:
+
+    * ``measured_sample_seconds`` — the slowest rank's gather wall time
+      (the parallel sampling time of an iteration-synchronous run);
+    * ``comm_seconds`` — the Hockney charges for the per-iteration row
+      allreduce, the collective stop agreement and the final statistics
+      reduction;
+    * ``measured_speedup`` vs ``modeled_speedup`` — the first divides
+      the 1-rank sampling time by (measured max-rank + comm), the
+      second by the model's ideal division (serial / ranks + comm).
+
+    Fit coefficients are asserted against the 1-rank run within 1e-12,
+    so a row can only be reported for runs that reproduce the serial
+    result exactly.
+    """
+    from repro.core.curve_fitting import CurveFitting
+    from repro.engine.distributed import DistributedEngine
+    from repro.engine.workload import ReplayApp
+
+    rng = np.random.default_rng(seed)
+    history = (
+        np.cumsum(rng.standard_normal((n_iterations, n_locations)), axis=0)
+        + 10.0
+    )
+
+    def run(n_ranks: int):
+        engine = DistributedEngine(ReplayApp(history), n_ranks=n_ranks)
+        analysis = engine.add_analysis(
+            CurveFitting(
+                _crosscheck_provider,
+                (0, n_locations - 1, 1),
+                (1, n_iterations, 1),
+                order=order,
+                lag=1,
+                batch_size=max(64, n_locations),
+                epochs_per_batch=2,
+            )
+        )
+        result = engine.run()
+        return analysis, result
+
+    baseline_analysis, baseline = run(1)
+    serial_sample = float(baseline.rank_sample_seconds.sum())
+    rows = []
+    for n_ranks in ranks:
+        analysis, result = run(n_ranks)
+        delta = float(
+            np.max(
+                np.abs(
+                    analysis.model.coefficients
+                    - baseline_analysis.model.coefficients
+                )
+            )
+        )
+        if delta > 1e-12:
+            raise ConfigurationError(
+                f"{n_ranks}-rank run diverged from serial by {delta:.3e}"
+            )
+        measured = float(result.max_rank_sample_seconds)
+        comm = float(result.comm_seconds)
+        rows.append(
+            {
+                "ranks": n_ranks,
+                "serial_sample_seconds": round(serial_sample, 6),
+                "measured_sample_seconds": round(measured, 6),
+                "comm_seconds": round(comm, 6),
+                "measured_speedup": round(
+                    serial_sample / (measured + comm), 3
+                ),
+                "modeled_speedup": round(
+                    serial_sample / (serial_sample / n_ranks + comm), 3
+                ),
+                "max_coefficient_delta": delta,
+            }
+        )
+    return rows

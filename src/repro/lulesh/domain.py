@@ -101,6 +101,18 @@ class LuleshDomain:
         """The 3-D velocity field reshaped to ``(size, size, size)``."""
         return self.velocity.reshape(self.size, self.size, self.size)
 
+    def wavefront_location(self) -> int:
+        """Radial element index of the shock front right now.
+
+        Estimated from the pressure (+ artificial viscosity) maximum —
+        the robust front estimator; the velocity profile behind the
+        shock is broad and would overestimate the front badly.  In a
+        rank-decomposed run the owner of this location is the "MPI rank
+        indicating the location of the wave front" the paper's status
+        broadcasts carry.
+        """
+        return int(np.argmax(self.mesh.pressure + self.mesh.q))
+
     def initial_velocity(self) -> float:
         """The "velocity initiated by the blast": peak radial speed so far.
 

@@ -86,7 +86,9 @@ class BreakPointAnalysis(CurveFitting):
                 event = StatusBroadcast(
                     iteration=iteration,
                     predicted_value=float(self.break_point_feature.radius),
-                    wavefront_rank=0,
+                    wavefront_rank=self.wavefront_rank(
+                        domain.wavefront_location()
+                    ),
                     action=ACTION_TERMINATE if self.terminate_when_trained else 0,
                 )
         if self._finalized and self.terminate_when_trained:
@@ -104,11 +106,7 @@ class BreakPointAnalysis(CurveFitting):
         wavefront must have reached the predicted break radius so the
         prediction is validated by real motion there.
         """
-        # Shock position from the pressure (+ viscosity) maximum — the
-        # robust front estimator; the velocity profile behind the shock
-        # is broad and would overestimate the front badly.
-        mesh = domain.mesh
-        wavefront = int(np.argmax(mesh.pressure + mesh.q))
+        wavefront = domain.wavefront_location()
         # The peak profile at a location is final only once the shock
         # has passed it; require the whole collection window swept
         # (plus one element of margin) before trusting extrapolation.

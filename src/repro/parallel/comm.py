@@ -16,10 +16,19 @@ and advances the shared simulated clock by the tree cost.
 from __future__ import annotations
 
 import pickle
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence
+
+import numpy as np
 
 from repro.errors import CommunicatorError
 from repro.parallel.cost_model import CommCostModel
+
+#: Elementwise reducers for array collectives, keyed by op name.
+_ARRAY_REDUCERS = {
+    "sum": lambda stack: stack.sum(axis=0),
+    "max": lambda stack: stack.max(axis=0),
+    "min": lambda stack: stack.min(axis=0),
+}
 
 
 class SimComm:
@@ -61,6 +70,7 @@ class SimComm:
             "charged_seconds": 0.0,
             "broadcasts": 0,
             "allreduces": 0,
+            "gathers": 0,
             "mailboxes": [[] for _ in range(size)],
         }
 
@@ -94,27 +104,106 @@ class SimComm:
             mailbox.append(payload)
         return payload
 
-    def allreduce(self, value: float, op: str = "sum") -> float:
-        """Reduce a scalar across ranks.
+    def allreduce(self, value, op: str = "sum"):
+        """Reduce a scalar or ndarray across ranks.
 
         With a single in-process producer the reduction over "all ranks"
         sees the same value from each; ``sum`` multiplies by size,
         ``max``/``min`` return the value.  The point of the call is the
-        charged cost, which matches a real allreduce of one double.
+        charged cost, which covers the *actual payload bytes* — 8 for a
+        scalar double, ``value.nbytes`` for an ndarray — instead of a
+        fixed probe.  Scalars return floats (backward compatible);
+        arrays return fresh float64 arrays reduced elementwise.
         """
-        reducers = {
-            "sum": lambda v: v * self.size,
-            "max": lambda v: v,
-            "min": lambda v: v,
-        }
-        if op not in reducers:
+        if op not in _ARRAY_REDUCERS:
             raise CommunicatorError(
-                f"unsupported reduction {op!r}; expected one of {sorted(reducers)}"
+                f"unsupported reduction {op!r}; expected one of "
+                f"{sorted(_ARRAY_REDUCERS)}"
             )
-        cost = self.cost_model.allreduce(8, self.size)
-        self._charge(cost)
+        if isinstance(value, np.ndarray):
+            arr = np.asarray(value, dtype=np.float64)
+            self._charge(self.cost_model.allreduce(arr.nbytes, self.size))
+            self._shared["allreduces"] += 1
+            if op == "sum":
+                return arr * self.size
+            return arr.copy()
+        self._charge(self.cost_model.allreduce(8, self.size))
         self._shared["allreduces"] += 1
-        return reducers[op](float(value))
+        if op == "sum":
+            return float(value) * self.size
+        return float(value)
+
+    def allreduce_array(
+        self, contributions, op: str = "sum"
+    ) -> np.ndarray:
+        """Elementwise reduction of per-rank array contributions.
+
+        ``contributions`` is either a sequence of ``size`` same-shaped
+        arrays — one per rank, reduced elementwise across the rank axis
+        — or a single ndarray standing for every rank's identical
+        contribution (single-producer semantics, matching
+        :meth:`allreduce`).  The charged cost covers an allreduce of
+        one contribution's bytes through the tree model.
+        """
+        if op not in _ARRAY_REDUCERS:
+            raise CommunicatorError(
+                f"unsupported reduction {op!r}; expected one of "
+                f"{sorted(_ARRAY_REDUCERS)}"
+            )
+        if isinstance(contributions, np.ndarray):
+            return self.allreduce(contributions, op)
+        parts = [np.asarray(p, dtype=np.float64) for p in contributions]
+        if len(parts) != self.size:
+            raise CommunicatorError(
+                f"expected one contribution per rank ({self.size}), "
+                f"got {len(parts)}"
+            )
+        shapes = {p.shape for p in parts}
+        if len(shapes) != 1:
+            raise CommunicatorError(
+                f"contributions must share one shape, got {sorted(shapes)}"
+            )
+        stack = np.stack(parts)
+        self._charge(self.cost_model.allreduce(parts[0].nbytes, self.size))
+        self._shared["allreduces"] += 1
+        return _ARRAY_REDUCERS[op](stack)
+
+    def gather(self, contributions: Sequence[Any], root: int = 0) -> List[Any]:
+        """Gather one payload per rank to ``root``; returns the list.
+
+        ``contributions`` must hold exactly ``size`` payloads in rank
+        order.  The charged cost models a binomial combining tree where
+        the payload grows toward the root (see
+        :meth:`CommCostModel.gather`); payload bytes are measured per
+        contribution (``nbytes`` for arrays, pickled size otherwise).
+        """
+        self._check_rank(root)
+        parts = list(contributions)
+        if len(parts) != self.size:
+            raise CommunicatorError(
+                f"expected one contribution per rank ({self.size}), "
+                f"got {len(parts)}"
+            )
+        per_rank_bytes = max(
+            (_payload_bytes(part) for part in parts), default=0
+        )
+        self._charge(self.cost_model.gather(per_rank_bytes, self.size))
+        self._shared["gathers"] += 1
+        return parts
+
+    def bcast_obj(self, payload: Any, root: int = 0) -> Any:
+        """Broadcast an arbitrary object, charging its pickled size.
+
+        Unlike :meth:`broadcast` this is a *data-plane* collective: the
+        payload is not deposited into the status mailboxes, so bulk
+        reductions do not drown the status-event history the paper's
+        broadcasts carry.
+        """
+        self._check_rank(root)
+        cost = self.cost_model.broadcast(_payload_bytes(payload), self.size)
+        self._charge(cost)
+        self._shared["broadcasts"] += 1
+        return payload
 
     def barrier(self) -> None:
         """Synchronisation point: charged as a zero-byte allreduce."""
@@ -137,6 +226,10 @@ class SimComm:
     def allreduce_count(self) -> int:
         return self._shared["allreduces"]
 
+    @property
+    def gather_count(self) -> int:
+        return self._shared["gathers"]
+
     def mailbox(self, rank: Optional[int] = None) -> List[Any]:
         """Payloads delivered to ``rank`` (default: this view's rank)."""
         target = self.rank if rank is None else rank
@@ -148,6 +241,7 @@ class SimComm:
         self._shared["charged_seconds"] = 0.0
         self._shared["broadcasts"] = 0
         self._shared["allreduces"] = 0
+        self._shared["gathers"] = 0
 
     # ------------------------------------------------------------------
 
@@ -159,3 +253,10 @@ class SimComm:
             raise CommunicatorError(
                 f"rank {rank} out of range for size {self.size}"
             )
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Wire size of one payload: raw bytes for arrays, pickled otherwise."""
+    if isinstance(payload, np.ndarray):
+        return int(payload.nbytes)
+    return len(pickle.dumps(payload))

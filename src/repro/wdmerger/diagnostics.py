@@ -97,3 +97,46 @@ def diagnostic_provider(name: str):
             f"unknown diagnostic {name!r}; expected one of {DIAGNOSTIC_NAMES}"
         )
     return scalar_provider(name)
+
+
+def _diagnostic_name_at(location: int) -> str:
+    """Diagnostic indexed by a spatial location, range-checked.
+
+    Negative indices must not wrap (Python's ``[-1]`` would silently
+    serve the *last* diagnostic for a misconfigured window).
+    """
+    index = int(location)
+    if not 0 <= index < len(DIAGNOSTIC_NAMES):
+        raise CollectionError(
+            f"diagnostic location {index} outside "
+            f"[0, {len(DIAGNOSTIC_NAMES) - 1}]"
+        )
+    return DIAGNOSTIC_NAMES[index]
+
+
+def multi_diagnostic_provider(domain: object, location: int) -> float:
+    """Provider whose *location axis is the diagnostic index*.
+
+    Location ``i`` reads ``DIAGNOSTIC_NAMES[i]`` off the domain, so one
+    collector with spatial window ``(0, 3, 1)`` samples all four paper
+    diagnostics per matching iteration — and a rank decomposition of
+    that window hands each rank its own subset of diagnostics to
+    gather, the wdmerger shape of shard-local collection.  A
+    module-level function (not a factory) so shared-collection grouping
+    and multiprocessing pickling both work.
+    """
+    return float(getattr(domain, _diagnostic_name_at(location)))
+
+
+def _multi_diagnostic_batch(domain: object, locations: np.ndarray) -> np.ndarray:
+    locations = np.asarray(locations, dtype=np.int64)
+    return np.array(
+        [
+            float(getattr(domain, _diagnostic_name_at(loc)))
+            for loc in locations
+        ],
+        dtype=np.float64,
+    )
+
+
+multi_diagnostic_provider.batch = _multi_diagnostic_batch

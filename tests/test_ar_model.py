@@ -42,6 +42,112 @@ class TestRunningStats:
         assert stats.std[0] >= 1e-3 * 100.0
 
 
+class TestRunningStatsMerge:
+    """Chan-merge edge cases the distributed reduction depends on."""
+
+    def _filled(self, rows):
+        stats = RunningStats(rows.shape[1])
+        stats.update(rows)
+        return stats
+
+    def test_merge_empty_partial_is_identity(self):
+        rows = np.arange(12.0).reshape(4, 3)
+        stats = self._filled(rows)
+        before_mean, before_std = stats.mean, stats.std
+        stats.merge(RunningStats(3))
+        assert stats.count == 4
+        np.testing.assert_array_equal(stats.mean, before_mean)
+        np.testing.assert_array_equal(stats.std, before_std)
+
+    def test_merge_into_empty_copies_other(self):
+        rows = np.arange(12.0).reshape(4, 3)
+        other = self._filled(rows)
+        stats = RunningStats(3)
+        stats.merge(other)
+        assert stats.count == 4
+        np.testing.assert_array_equal(stats.mean, other.mean)
+        np.testing.assert_array_equal(stats.std, other.std)
+        # A copy, not an alias: updating the merged side must not
+        # corrupt the source partial.
+        stats.update(np.ones((1, 3)))
+        assert other.count == 4
+
+    def test_merge_of_empties_stays_empty(self):
+        stats = RunningStats(2)
+        stats.merge(RunningStats(2))
+        assert stats.count == 0
+        np.testing.assert_array_equal(stats.std, [1.0, 1.0])
+
+    def test_single_row_partials_match_bulk_update(self):
+        rng = np.random.default_rng(5)
+        rows = rng.standard_normal((17, 2)) * 3.0 + 1.0
+        bulk = self._filled(rows)
+        merged = RunningStats.merged(
+            [self._filled(row.reshape(1, -1)) for row in rows]
+        )
+        assert merged.count == bulk.count
+        np.testing.assert_allclose(
+            merged.mean, bulk.mean, rtol=1e-12, atol=1e-15
+        )
+        np.testing.assert_allclose(
+            merged.std, bulk.std, rtol=1e-12, atol=1e-15
+        )
+
+    @given(st.integers(0, 10), st.integers(0, 10), st.integers(1, 10))
+    @settings(max_examples=40)
+    def test_associativity_within_tolerance(self, n_a, n_b, n_c):
+        rng = np.random.default_rng(n_a * 131 + n_b * 17 + n_c)
+        blocks = [
+            rng.standard_normal((n, 3)) * 2.0 + 0.5
+            for n in (n_a, n_b, n_c)
+        ]
+        a1, b1, c1 = (self._filled(b) for b in blocks)
+        a2, b2, c2 = (self._filled(b) for b in blocks)
+        left = a1.merge(b1).merge(c1)
+        right = a2.merge(b2.merge(c2))
+        assert left.count == right.count
+        np.testing.assert_allclose(
+            left.mean, right.mean, rtol=1e-12, atol=1e-15
+        )
+        np.testing.assert_allclose(
+            left._m2, right._m2, rtol=1e-12, atol=1e-15
+        )
+
+    def test_merge_equals_sequential_update(self):
+        rng = np.random.default_rng(9)
+        first, second = rng.standard_normal((6, 2)), rng.standard_normal((9, 2))
+        sequential = RunningStats(2)
+        sequential.update(first)
+        sequential.update(second)
+        merged = self._filled(first).merge(self._filled(second))
+        np.testing.assert_allclose(
+            merged.mean, sequential.mean, rtol=1e-12, atol=1e-15
+        )
+        np.testing.assert_allclose(
+            merged.std, sequential.std, rtol=1e-12, atol=1e-15
+        )
+
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunningStats(2).merge(RunningStats(3))
+
+    def test_non_stats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RunningStats(2).merge(np.zeros(2))
+
+    def test_merged_needs_at_least_one_partial(self):
+        with pytest.raises(ConfigurationError):
+            RunningStats.merged([])
+
+    def test_model_exposes_mergeable_stats(self):
+        model = ARModel(2)
+        model.partial_fit(np.ones((4, 2)), np.ones(4))
+        assert isinstance(model.x_stats, RunningStats)
+        assert isinstance(model.y_stats, RunningStats)
+        assert model.x_stats.count == 4
+        assert model.y_stats.width == 1
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",

@@ -89,6 +89,87 @@ class TestSeriesStore:
         np.testing.assert_array_equal(store.last_row(), [3.0])
         assert store.row_at(3) is None
 
+    def test_empty_store_is_well_shaped(self):
+        # Regression: a rank shard that never matched a temporal window
+        # must feed the reducer a (0, width) matrix and a None last row,
+        # not crash.
+        store = SeriesStore(np.array([4, 5, 6]))
+        assert len(store) == 0
+        assert store.matrix().shape == (0, 3)
+        assert not store.matrix().flags.writeable
+        assert store.last_row() is None
+        assert store.last_iteration is None
+        assert store.iterations.shape == (0,)
+
+    def test_empty_zero_location_store(self):
+        store = SeriesStore(np.array([], dtype=np.int64))
+        assert store.matrix().shape == (0, 0)
+        assert store.last_row() is None
+        store.add_row(1, np.array([]))
+        assert store.matrix().shape == (1, 0)
+
+
+class TestMergeShards:
+    def _shard(self, locations, rows, iterations):
+        store = SeriesStore(np.asarray(locations, dtype=np.int64))
+        for iteration, row in zip(iterations, rows):
+            store.add_row(iteration, np.asarray(row, dtype=np.float64))
+        return store
+
+    def test_round_trip_equals_full_store(self):
+        rng = np.random.default_rng(2)
+        matrix = rng.standard_normal((5, 7))
+        iterations = [1, 3, 5, 7, 9]
+        full = self._shard(np.arange(7), matrix, iterations)
+        shards = [
+            self._shard(np.arange(0, 3), matrix[:, 0:3], iterations),
+            self._shard(np.arange(3, 6), matrix[:, 3:6], iterations),
+            self._shard(np.arange(6, 7), matrix[:, 6:7], iterations),
+        ]
+        merged = SeriesStore.merge_shards(shards)
+        np.testing.assert_array_equal(merged.matrix(), full.matrix())
+        np.testing.assert_array_equal(merged.iterations, full.iterations)
+        np.testing.assert_array_equal(merged.locations, full.locations)
+        np.testing.assert_array_equal(merged.row_at(5), full.row_at(5))
+
+    def test_empty_shards_merge(self):
+        shards = [
+            self._shard([0, 1], [], []),
+            self._shard([], [], []),
+            self._shard([2], [], []),
+        ]
+        merged = SeriesStore.merge_shards(shards)
+        assert merged.matrix().shape == (0, 3)
+        assert merged.last_row() is None
+
+    def test_zero_location_shard_included(self):
+        shards = [
+            self._shard([0], [[1.0], [2.0]], [1, 2]),
+            self._shard([], [[], []], [1, 2]),
+        ]
+        merged = SeriesStore.merge_shards(shards)
+        assert merged.matrix().shape == (2, 1)
+
+    def test_disagreeing_iterations_rejected(self):
+        shards = [
+            self._shard([0], [[1.0]], [1]),
+            self._shard([1], [[2.0]], [2]),
+        ]
+        with pytest.raises(CollectionError):
+            SeriesStore.merge_shards(shards)
+
+    def test_no_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeriesStore.merge_shards([])
+
+    def test_merged_store_accepts_new_rows(self):
+        merged = SeriesStore.merge_shards(
+            [self._shard([0], [[1.0]], [4]), self._shard([1], [[2.0]], [4])]
+        )
+        merged.add_row(6, np.array([3.0, 4.0]))
+        np.testing.assert_array_equal(merged.row_at(6), [3.0, 4.0])
+        np.testing.assert_array_equal(merged.iterations, [4, 6])
+
 
 class TestValidation:
     def test_bad_axis_rejected(self):

@@ -49,6 +49,21 @@ class TestCommCostModel:
         lo, hi = sorted((a, b))
         assert model.broadcast(64, lo) <= model.broadcast(64, hi)
 
+    def test_gather_cost(self):
+        model = CommCostModel(latency_s=1e-6, bandwidth_bytes_per_s=1e9)
+        assert model.gather(1024, 1) == 0.0
+        # 4 ranks: 2 latency stages, 3 foreign payloads into the root.
+        assert model.gather(1000, 4) == pytest.approx(2e-6 + 3e-6)
+        with pytest.raises(ConfigurationError):
+            model.gather(-1, 4)
+
+    @given(st.integers(1, 256), st.integers(1, 256))
+    @settings(max_examples=40)
+    def test_gather_monotone_in_ranks(self, a, b):
+        model = CommCostModel()
+        lo, hi = sorted((a, b))
+        assert model.gather(64, lo) <= model.gather(64, hi)
+
 
 class TestThreadingModel:
     def test_validation(self):
@@ -109,6 +124,90 @@ class TestSimComm:
     def test_allreduce_bad_op(self):
         with pytest.raises(CommunicatorError):
             SimComm(2).allreduce(1.0, "xor")
+
+    def test_allreduce_ndarray(self):
+        comm = SimComm(4)
+        arr = np.array([1.0, 2.0, 3.0])
+        np.testing.assert_array_equal(comm.allreduce(arr, "sum"), arr * 4)
+        np.testing.assert_array_equal(comm.allreduce(arr, "max"), arr)
+        out = comm.allreduce(arr, "min")
+        assert out is not arr  # fresh array, not an alias
+        assert comm.allreduce_count == 3
+
+    def test_allreduce_cost_scales_with_payload_bytes(self):
+        model = CommCostModel()
+        comm = SimComm(8, model)
+        comm.allreduce(2.0)
+        scalar_cost = comm.charged_seconds
+        assert scalar_cost == pytest.approx(model.allreduce(8, 8))
+        comm.reset_accounting()
+        big = np.zeros(1 << 16)
+        comm.allreduce(big, "sum")
+        assert comm.charged_seconds == pytest.approx(
+            model.allreduce(big.nbytes, 8)
+        )
+        assert comm.charged_seconds > scalar_cost
+
+    def test_allreduce_array_reduces_per_rank_contributions(self):
+        comm = SimComm(3)
+        parts = [np.array([1.0, 0.0]), np.array([0.0, 2.0]),
+                 np.array([4.0, 8.0])]
+        np.testing.assert_array_equal(
+            comm.allreduce_array(parts, "sum"), [5.0, 10.0]
+        )
+        np.testing.assert_array_equal(
+            comm.allreduce_array(parts, "max"), [4.0, 8.0]
+        )
+        np.testing.assert_array_equal(
+            comm.allreduce_array(parts, "min"), [0.0, 0.0]
+        )
+        assert comm.charged_seconds > 0
+
+    def test_allreduce_array_validates_contributions(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_array([np.zeros(2)])  # wrong rank count
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_array([np.zeros(2), np.zeros(3)])  # shapes
+        with pytest.raises(CommunicatorError):
+            comm.allreduce_array([np.zeros(2), np.zeros(2)], "xor")
+
+    def test_allreduce_array_single_producer_semantics(self):
+        comm = SimComm(4)
+        np.testing.assert_array_equal(
+            comm.allreduce_array(np.array([1.0, 2.0])), [4.0, 8.0]
+        )
+
+    def test_gather_returns_rank_ordered_payloads(self):
+        comm = SimComm(3)
+        parts = [np.zeros(4), np.ones(4), np.full(4, 2.0)]
+        gathered = comm.gather(parts)
+        assert len(gathered) == 3
+        np.testing.assert_array_equal(gathered[1], np.ones(4))
+        assert comm.gather_count == 1
+        assert comm.charged_seconds == pytest.approx(
+            comm.cost_model.gather(32, 3)
+        )
+
+    def test_gather_validates_rank_count_and_root(self):
+        comm = SimComm(2)
+        with pytest.raises(CommunicatorError):
+            comm.gather([1.0])
+        with pytest.raises(CommunicatorError):
+            comm.gather([1.0, 2.0], root=7)
+
+    def test_gather_free_on_single_rank(self):
+        comm = SimComm(1)
+        assert comm.gather(["x"]) == ["x"]
+        assert comm.charged_seconds == 0.0
+
+    def test_bcast_obj_charges_without_mailbox_deposit(self):
+        comm = SimComm(4)
+        payload = {"stats": list(range(10))}
+        assert comm.bcast_obj(payload) is payload
+        assert comm.charged_seconds > 0
+        assert comm.broadcast_count == 1
+        assert comm.mailbox(0) == []
 
     def test_views_share_state(self):
         comm = SimComm(4)
