@@ -1,0 +1,16 @@
+"""Make ``import repro`` work when benchmark scripts run directly.
+
+Mirrors ``examples/_bootstrap.py`` for the timing scripts
+(``perf_dataplane.py``, ``perf_distributed.py``) that are executed as
+plain scripts rather than through pytest (pytest runs get the path
+from the repository-root ``conftest.py``).
+"""
+
+import os
+import sys
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

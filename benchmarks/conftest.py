@@ -5,6 +5,11 @@ and asserts the reproduced *shape* (who wins, where the crossovers
 fall).  Set ``REPRO_BENCH_FULL=1`` to run every benchmark at the
 paper's full parameter grid (several minutes); the default trims the
 heaviest sweeps so the whole suite finishes quickly.
+
+Path setup is centralised: pytest runs import ``repro`` through the
+repository-root ``conftest.py`` (which inserts ``src/``), and the
+directly-executed timing scripts go through ``benchmarks/_bootstrap.py``
+— no ``PYTHONPATH`` preparation needed anywhere.
 """
 
 import os

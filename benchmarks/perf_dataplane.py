@@ -21,7 +21,7 @@ Both paths train the same four AR models on the same replayed history;
 the benchmark asserts their fitted coefficients agree within 1e-9, so
 the reported speedup is for *identical* results.  Run directly::
 
-    PYTHONPATH=src python benchmarks/perf_dataplane.py [--quick] \
+    python benchmarks/perf_dataplane.py [--quick] \
         [--output BENCH_dataplane.json]
 
 ``--quick`` trims the grid for CI smoke runs.  Not collected by
@@ -30,6 +30,8 @@ not a correctness test.
 """
 
 from __future__ import annotations
+
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
 
 import argparse
 import json

@@ -27,7 +27,7 @@ Every distributed run's fit coefficients are asserted against the
 serial engine within 1e-12, so all reported numbers are for *identical*
 results.  Run directly::
 
-    PYTHONPATH=src python benchmarks/perf_distributed.py [--quick] \
+    python benchmarks/perf_distributed.py [--quick] \
         [--ranks 4,8] [--output BENCH_distributed.json]
 
 ``--quick`` trims the scenario for CI smoke runs.  Not collected by
@@ -36,6 +36,8 @@ not a correctness test.
 """
 
 from __future__ import annotations
+
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
 
 import argparse
 import json

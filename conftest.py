@@ -1,0 +1,15 @@
+"""Repo-wide pytest bootstrap: make ``src/`` importable everywhere.
+
+Centralises the path setup that used to be spelled ``PYTHONPATH=src``
+in front of every command: pytest loads this conftest before
+collecting ``tests/`` or ``benchmarks/``, so the suite runs from a
+plain checkout with no environment preparation.  (Direct script runs
+go through ``examples/_bootstrap.py`` / ``benchmarks/_bootstrap.py``,
+and the CLI through the root ``repro.py`` launcher, all of which
+insert the same directory.)
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "src"))

@@ -1,0 +1,16 @@
+"""Make ``import repro`` work when examples run from a plain checkout.
+
+Each example starts with ``import _bootstrap`` (the script's own
+directory is always importable), which inserts the repository's
+``src/`` directory — the one place that path is computed for example
+scripts, replacing the per-script ``PYTHONPATH=src`` requirement.
+"""
+
+import os
+import sys
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

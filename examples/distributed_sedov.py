@@ -17,71 +17,54 @@ shows the three things the distributed runtime guarantees:
    Hockney-model time to the `SimComm` ledger, which is how modeled
    scaling numbers stay tied to measured runs.
 
+The workload itself is resolved by name from the scenario registry —
+the spec's factories build the simulation and the threshold sweep, so
+this example only owns the distributed-runtime walkthrough.
+
 Run:  python examples/distributed_sedov.py [size] [ranks]
 """
+
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
 
 import sys
 
 import numpy as np
 
-from repro.core.params import IterParam
+from repro import scenarios
 from repro.engine import DistributedEngine, InSituEngine
-from repro.lulesh import LuleshSimulation
-from repro.lulesh.insitu import BreakPointAnalysis
 
 THRESHOLDS = (0.002, 0.02, 0.2)
-
-
-def _provider(domain, loc):
-    return domain.xd(loc)
-
-
-def _provider_batch(domain, locations):
-    return domain.xd_batch(locations)
-
-
-_provider.batch = _provider_batch
-
-
-def _analyses(size, total_iterations):
-    return [
-        BreakPointAnalysis(
-            _provider,
-            IterParam(1, 10, 1),
-            IterParam(50, int(0.4 * total_iterations), 1),
-            threshold=threshold,
-            max_location=size,
-            lag=10,
-            order=3,
-            terminate_when_trained=True,
-            name=f"threshold_{threshold:g}",
-        )
-        for threshold in THRESHOLDS
-    ]
 
 
 def main():
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 30
     n_ranks = int(sys.argv[2]) if len(sys.argv) > 2 else 4
 
-    probe = LuleshSimulation(size, maintain_field=False)
-    probe.run()
-    total = probe.iteration
-    print(f"domain size {size}^3, {total} iterations, {n_ranks} ranks")
-
-    serial_engine = InSituEngine(
-        LuleshSimulation(size, maintain_field=False), policy="all"
+    spec = scenarios.get("lulesh-sedov")
+    params = spec.params(
+        overrides={
+            "size": size,
+            "thresholds": THRESHOLDS,
+            "spatial_window": (1, 10),
+            "train_begin": 50,
+        }
     )
-    serial = [serial_engine.add_analysis(a) for a in _analyses(size, total)]
+    print(f"domain size {size}^3, {n_ranks} ranks (scenario 'lulesh-sedov')")
+
+    serial_engine = InSituEngine(spec.app_factory(**params), policy="all")
+    serial = [
+        serial_engine.add_analysis(a)
+        for a in spec.analysis_factory(**params)
+    ]
     serial_result = serial_engine.run()
 
     engine = DistributedEngine(
-        LuleshSimulation(size, maintain_field=False),
+        spec.app_factory(**params),
         n_ranks=n_ranks,
         policy="all",
         name="distributed-sedov",
     )
-    dist = [engine.add_analysis(a) for a in _analyses(size, total)]
+    dist = [engine.add_analysis(a) for a in spec.analysis_factory(**params)]
     result = engine.run()
 
     print()
@@ -104,7 +87,7 @@ def main():
         name = dist_analysis.name
         assert result.stopped_at[name] == serial_result.stopped_at[name]
         print(
-            f"{name.split('_')[1]:>10} "
+            f"{name.split('-t')[-1]:>10} "
             f"{dist_analysis.final_feature().radius:>7} "
             f"{result.stopped_at[name]:>11} {delta:>12.1e}"
         )

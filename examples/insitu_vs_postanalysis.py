@@ -9,6 +9,8 @@ in-situ method avoids.
 Run:  python examples/insitu_vs_postanalysis.py
 """
 
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
+
 from repro.analysis import PostHocAnalyzer
 from repro.core.params import IterParam
 from repro.engine import InSituEngine

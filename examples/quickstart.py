@@ -1,73 +1,43 @@
-"""Quickstart: in-situ curve fitting on a toy simulation in ~40 lines.
+"""Quickstart: drive a registered scenario through the CLI path.
 
-Runs a little travelling-wave "simulation", attaches a Curve_Fitting
-analysis through the paper's td_* API, trains the auto-regressive model
-while the loop runs, and prints the fit quality plus a short forecast.
+Every workload in this repo is a *scenario*: a declarative spec binding
+a simulation factory, providers, analysis windows, termination policy
+and ground truth, resolved by name from the registry.  The same calls
+shown here back the command line::
+
+    python -m repro list
+    python -m repro run heat-diffusion --quick --ranks 2
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
 
-from repro import (
-    Curve_Fitting,
-    td_iter_param_init,
-    td_region_add_analysis,
-    td_region_begin,
-    td_region_end,
-    td_region_init,
+from repro import scenarios
+from repro.cli import main as repro_cli
+
+# 1. The CLI entry point is plain Python — `list` shows the registry.
+print("$ python -m repro list --names")
+repro_cli(["list", "--names"])
+
+# 2. Run one scenario end to end: build, run in situ, validate the
+#    fitted AR predictions against the closed-form ground truth.
+print()
+print("$ python -m repro run heat-diffusion --quick")
+status = repro_cli(["run", "heat-diffusion", "--quick"])
+assert status == 0, "scenario validation failed"
+
+# 3. The same thing programmatically, with the full result in hand.
+run = scenarios.run_scenario("heat-diffusion", quick=True)
+print()
+print(f"programmatic: error {run.error:.4g}% vs tolerance {run.tolerance:g}%")
+print(f"analyses: {[a.name for a in run.analyses]}")
+print(f"stopped at: {run.result.stopped_at}")
+
+# 4. Distributed runs shard the same spec over ranks and cross-check
+#    against serial — bit-identical fits or the run fails.
+run = scenarios.run_scenario("heat-diffusion", quick=True, n_ranks=2)
+print(
+    f"2 ranks: max serial/distributed delta "
+    f"{run.crosscheck['max_coefficient_delta']:.1e} -> ok={run.ok}"
 )
-
-
-class ToySimulation:
-    """A Gaussian pulse drifting to the right: V(l, t) = exp(-(l - ct)^2/w)."""
-
-    def __init__(self, n_locations=24, speed=0.06, width=10.0):
-        self.n_locations = n_locations
-        self.speed = speed
-        self.width = width
-        self.t = 0
-
-    def step(self):
-        self.t += 1
-
-    def value(self, loc):
-        x = loc - self.speed * self.t
-        return float(np.exp(-(x**2) / self.width))
-
-
-def td_var_provider(domain, loc):
-    """The paper's provider: read the diagnostic variable at a location."""
-    return domain.value(loc)
-
-
-def main():
-    sim = ToySimulation()
-    region = td_region_init("quickstart", sim)
-
-    locations = td_iter_param_init(0, 14, 1)     # spatial window
-    iterations = td_iter_param_init(1, 150, 1)   # temporal window
-    analysis = td_region_add_analysis(
-        region, td_var_provider, locations, Curve_Fitting, iterations,
-        order=3, lag=2, batch_size=8,
-    )
-
-    # The instrumented main loop — identical shape to the paper's
-    # LULESH listing: begin, main computation, end.
-    for _ in range(150):
-        td_region_begin(region)
-        sim.step()
-        td_region_end(region)
-
-    summary = analysis.summary()
-    print(f"samples collected : {summary.samples_collected}")
-    print(f"gradient updates  : {summary.updates}")
-    print(f"model converged   : {summary.converged}")
-    print(f"fit error         : {analysis.fit_error():.2f}%")
-
-    forecast = analysis.forecast(location=7, steps=5)
-    print(f"5-step forecast at location 7: {np.round(forecast, 4).tolist()}")
-
-
-if __name__ == "__main__":
-    main()

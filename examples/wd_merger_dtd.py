@@ -1,57 +1,27 @@
 """White dwarf merger detonation delay-time extraction (paper Case 2).
 
-Runs the wdmerger simulator, extracts the four diagnostic curves in
-situ, derives a delay time per diagnostic from the tracked inflection
-points, and assembles a small delay-time distribution (DTD) over a set
-of binary configurations — the downstream science use the paper's
-Section V motivates.
+Runs the wdmerger scenario from the registry, extracts the delay time
+per binary configuration from the in-situ tracked detonation
+inflection, and assembles a small delay-time distribution (DTD) — the
+downstream science use the paper's Section V motivates.  The workload
+is resolved by name; the CLI equivalent of one configuration is::
+
+    python -m repro run wdmerger-detonation --param initial_separation=2.6
 
 Run:  python examples/wd_merger_dtd.py
 """
 
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
+
 import numpy as np
 
-from repro.core.params import IterParam
-from repro.engine import InSituEngine
-from repro.wdmerger import (
-    DIAGNOSTIC_NAMES,
-    WdMergerSimulation,
-    delay_time_features,
-)
-from repro.wdmerger.insitu import DetonationAnalysis
-
-
-def delay_times_for(resolution=16, **binary_kwargs):
-    """One merger's in-situ delay time (temperature diagnostic)."""
-    sim = WdMergerSimulation(
-        resolution, maintain_grid=False, **binary_kwargs
-    )
-    total = int(sim.end_time / sim.dt)
-    engine = InSituEngine(sim, name="wdmerger")
-    analysis = engine.add_analysis(
-        DetonationAnalysis(
-            IterParam(0, 0, 1),
-            IterParam(1, total, 1),
-            variable="temperature",
-            dt=sim.dt,
-            order=3,
-            batch_size=4,
-            learning_rate=0.03,
-            min_updates=3,
-            monitor_window=3,
-            monitor_patience=1,
-            terminate_when_trained=True,
-        )
-    )
-    engine.run()
-    feature = analysis.delay_feature
-    saved = 100.0 * (1.0 - sim.time / sim.end_time)
-    return feature, sim.events, saved
+from repro import scenarios
+from repro.wdmerger import DIAGNOSTIC_NAMES, delay_time_features
 
 
 def main():
     print("single merger, all four diagnostics (resolution 32):")
-    sim = WdMergerSimulation(32)
+    sim = scenarios.build_sim("wdmerger-detonation", resolution=32, maintain_grid=True)
     sim.run()
     features = delay_time_features(sim.history.times, sim.history.all_series())
     print(f"  simulation detonation event at t = {sim.events.detonation_time}")
@@ -60,18 +30,18 @@ def main():
     print()
     print("delay-time distribution over binary configurations (in situ,")
     print("early-terminated runs):")
-    configurations = [
-        {"initial_separation": a0} for a0 in (2.55, 2.60, 2.65, 2.70)
-    ]
     delays = []
-    for config in configurations:
-        feature, events, saved = delay_times_for(**config)
-        delay = feature.delay_time if feature else float("nan")
+    for a0 in (2.55, 2.60, 2.65, 2.70):
+        run = scenarios.run_scenario(
+            "wdmerger-detonation",
+            params={"resolution": 16, "initial_separation": a0},
+        )
+        delay = run.metrics.get("delay_time", float("nan"))
         delays.append(delay)
         print(
-            f"  a0={config['initial_separation']:.2f}: "
-            f"delay {delay:7.2f}  (event {events.detonation_time}, "
-            f"{saved:.0f}% of run saved)"
+            f"  a0={a0:.2f}: delay {delay:7.2f}  "
+            f"(event {run.metrics.get('event_time')}, "
+            f"{run.metrics.get('run_saved_pct', 0.0):.0f}% of run saved)"
         )
     finite = [d for d in delays if np.isfinite(d)]
     print()

@@ -1,0 +1,37 @@
+"""Launcher: drive the ``repro`` CLI from a plain checkout.
+
+``python -m repro`` only works once ``src/`` is importable; this
+module makes that true from the repository root with no environment
+preparation, in both spellings:
+
+* ``python repro.py run heat-diffusion --quick`` — the script inserts
+  ``src/`` and dispatches to :func:`repro.cli.main`.
+* ``python -m repro ...`` from the checkout root — the interpreter
+  resolves ``repro`` to THIS file (the working directory precedes
+  ``src/`` on ``sys.path``), which then bootstraps the path and runs
+  the CLI exactly like the packaged ``repro/__main__.py`` would.
+
+When imported under the name ``repro`` (e.g. ``python -m
+repro.experiments.runner`` from the root), it replaces itself in
+``sys.modules`` with the real package so submodule imports resolve.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+if __name__ == "__main__":
+    from repro.cli import main
+
+    sys.exit(main())
+else:
+    # Imported as the `repro` module from the checkout root: hand over
+    # to the real package (importlib re-reads sys.modules after module
+    # execution, so the swap is what the importer returns).
+    import importlib
+
+    del sys.modules[__name__]
+    importlib.import_module(__name__)

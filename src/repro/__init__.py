@@ -73,13 +73,17 @@ from repro.engine import (
     SimulationApp,
     WdMergerApp,
     as_simulation_app,
+    register_adapter,
 )
 from repro.errors import (
     CollectionError,
     ConfigurationError,
     NotTrainedError,
     ReproError,
+    ScenarioError,
 )
+from repro import scenarios
+from repro.scenarios import ScenarioSpec, run_scenario
 
 __version__ = "1.0.0"
 
@@ -102,12 +106,17 @@ __all__ = [
     "Region",
     "ReplayApp",
     "ReproError",
+    "ScenarioError",
+    "ScenarioSpec",
     "SharedCollector",
     "SimulationApp",
     "ThresholdDetector",
     "VariableTracker",
     "WdMergerApp",
     "as_simulation_app",
+    "register_adapter",
+    "run_scenario",
+    "scenarios",
     "td_iter_param_init",
     "td_region_add_analysis",
     "td_region_begin",

@@ -1,0 +1,267 @@
+"""``python -m repro`` — the single entry point for scenario runs.
+
+Three subcommands drive the scenario registry
+(:mod:`repro.scenarios`):
+
+``list``
+    Show every registered scenario (``--json`` for machine-readable
+    metadata, ``--names`` for a bare name list — ``--names --json``
+    emits the compact JSON array CI feeds into its matrix).
+
+``run <scenario>``
+    Build, run and validate one scenario.  ``--ranks N`` shards it
+    over the distributed runtime (``--backend simcomm|mp``) and — by
+    default — cross-checks the fitted analyses against a fresh serial
+    run, failing on any divergence beyond 1e-12.  ``--quick`` applies
+    the spec's trimmed smoke parameters; ``--json out.json`` writes
+    the full report.  Exit status 1 on validation failure or
+    serial/distributed divergence.
+
+``bench``
+    Time every (or the named) scenario serial and distributed, print a
+    comparison table, and optionally write the rows as JSON.
+
+Examples::
+
+    python -m repro list
+    python -m repro run heat-diffusion --quick
+    python -m repro run advection-front --ranks 4 --json report.json
+    python -m repro bench --ranks 2 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro import scenarios
+from repro.errors import ReproError, ScenarioError
+
+
+def _parse_params(pairs: Sequence[str]) -> Dict[str, object]:
+    """Parse repeated ``--param key=value`` flags (literals or strings)."""
+    params: Dict[str, object] = {}
+    for pair in pairs:
+        key, sep, raw = pair.partition("=")
+        if not sep or not key:
+            raise ScenarioError(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = ast.literal_eval(raw)
+        except (ValueError, SyntaxError):
+            params[key] = raw
+    return params
+
+
+def _cmd_list(args) -> int:
+    specs = scenarios.specs()
+    if args.names:
+        names = [spec.name for spec in specs]
+        if args.json:
+            print(json.dumps(names))
+        else:
+            for name in names:
+                print(name)
+        return 0
+    if args.json:
+        listing = {"scenarios": [spec.describe() for spec in specs]}
+        print(json.dumps(listing, indent=2))
+        return 0
+    width = max(len(spec.name) for spec in specs)
+    print(f"{len(specs)} registered scenarios:\n")
+    for spec in specs:
+        backends = ",".join(spec.backends)
+        print(f"  {spec.name.ljust(width)}  {spec.physics}")
+        print(f"  {' ' * width}  ground truth: {spec.ground_truth}")
+        print(
+            f"  {' ' * width}  policy={spec.policy} backends={backends} "
+            f"tolerance={spec.tolerance:g}"
+        )
+    print("\nrun one with: python -m repro run <scenario> [--quick] [--ranks N]")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    run = scenarios.run_scenario(
+        args.scenario,
+        n_ranks=args.ranks,
+        backend=args.backend,
+        quick=args.quick,
+        params=_parse_params(args.param),
+        crosscheck=False if args.no_crosscheck else None,
+        max_iterations=args.max_iterations,
+    )
+    if run.n_ranks == 1:
+        mode = "serial"
+    else:
+        mode = f"{run.n_ranks} ranks ({run.backend})"
+    print(f"scenario  : {run.name}{' [quick]' if run.quick else ''}")
+    print(f"mode      : {mode}")
+    print(
+        f"run       : {run.result.iterations} iterations, "
+        f"terminated_early={run.result.terminated_early}, "
+        f"{run.seconds:.2f}s"
+    )
+    if run.result.stopped_at:
+        stops = ", ".join(
+            f"{name}@{stop}" for name, stop in sorted(run.result.stopped_at.items())
+        )
+        print(f"stops     : {stops}")
+    for key, value in sorted(run.metrics.items()):
+        if key == "error":
+            continue
+        print(f"  {key}: {value}")
+    verdict = "PASS" if run.accuracy_ok else "FAIL"
+    print(
+        f"accuracy  : error {run.error:.4g} vs tolerance "
+        f"{run.tolerance:g} -> {verdict}"
+    )
+    if run.crosscheck is not None:
+        report = run.crosscheck
+        verdict = "PASS" if run.crosscheck_ok else "FAIL"
+        print(
+            "crosscheck: serial vs distributed max delta "
+            f"{report['max_coefficient_delta']:.2e} "
+            f"(stops_match={report['stops_match']}) -> {verdict}"
+        )
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(run.to_json(), fh, indent=2, default=str)
+        print(f"report    : {args.json}")
+    return 0 if run.ok else 1
+
+
+def _cmd_bench(args) -> int:
+    from repro.experiments.common import Table
+
+    names = args.scenarios or scenarios.names()
+    table = Table(
+        title=f"Scenario bench (quick={args.quick}, ranks={args.ranks})",
+        headers=[
+            "Scenario",
+            "Iterations",
+            "Serial(s)",
+            f"Dist@{args.ranks}(s)",
+            "Comm(s)",
+            "Error",
+            "OK",
+        ],
+    )
+    rows: List[Dict[str, object]] = []
+    failures = 0
+    for name in names:
+        serial = scenarios.run_scenario(name, quick=args.quick)
+        spec = scenarios.get(name)
+        if args.ranks > 1 and "simcomm" in spec.backends:
+            dist = scenarios.run_scenario(
+                name,
+                n_ranks=args.ranks,
+                quick=args.quick,
+                crosscheck=True,
+            )
+            dist_seconds: Optional[float] = dist.seconds
+            comm_seconds = getattr(dist.result, "comm_seconds", 0.0)
+            ok = serial.ok and dist.ok
+        else:
+            dist_seconds = None
+            comm_seconds = 0.0
+            ok = serial.ok
+        failures += 0 if ok else 1
+        table.add_row(
+            name,
+            serial.result.iterations,
+            serial.seconds,
+            dist_seconds if dist_seconds is not None else "-",
+            comm_seconds,
+            serial.error,
+            "yes" if ok else "NO",
+        )
+        rows.append(
+            {
+                "scenario": name,
+                "iterations": serial.result.iterations,
+                "serial_seconds": serial.seconds,
+                "distributed_seconds": dist_seconds,
+                "comm_seconds": comm_seconds,
+                "error": scenarios.json_safe(serial.error),
+                "ok": ok,
+            }
+        )
+    print(table.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump({"ranks": args.ranks, "rows": rows}, fh, indent=2)
+        print(f"\nreport: {args.json}")
+    return 0 if failures == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run registered in-situ feature-extraction scenarios.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="show registered scenarios")
+    p_list.add_argument("--json", action="store_true", help="JSON output")
+    p_list.add_argument(
+        "--names", action="store_true", help="names only (CI matrix input)"
+    )
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run and validate one scenario")
+    p_run.add_argument("scenario", help="registered scenario name")
+    p_run.add_argument(
+        "--ranks", type=int, default=1, help="ranks (default 1 = serial)"
+    )
+    p_run.add_argument(
+        "--backend",
+        default="simcomm",
+        choices=sorted(set(scenarios.spec.BACKEND_ALIASES)),
+        help="distributed backend (mp = multiprocessing)",
+    )
+    p_run.add_argument(
+        "--quick", action="store_true", help="use the spec's smoke parameters"
+    )
+    p_run.add_argument("--json", metavar="PATH", help="write the full report as JSON")
+    p_run.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override a scenario parameter (repeatable)",
+    )
+    p_run.add_argument(
+        "--no-crosscheck",
+        action="store_true",
+        help="skip the serial agreement check on distributed runs",
+    )
+    p_run.add_argument(
+        "--max-iterations", type=int, default=None, help="hard iteration cap"
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_bench = sub.add_parser("bench", help="time scenarios serial vs distributed")
+    p_bench.add_argument("scenarios", nargs="*", help="scenario names (default: all)")
+    p_bench.add_argument("--ranks", type=int, default=2, help="distributed rank count")
+    p_bench.add_argument("--quick", action="store_true")
+    p_bench.add_argument("--json", metavar="PATH")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

@@ -58,6 +58,7 @@ from repro.engine.workload import (
     SimulationApp,
     WdMergerApp,
     as_simulation_app,
+    register_adapter,
     replay_provider,
 )
 
@@ -88,5 +89,6 @@ __all__ = [
     "WdMergerApp",
     "as_simulation_app",
     "plan_groups",
+    "register_adapter",
     "replay_provider",
 ]

@@ -180,28 +180,79 @@ class ReplayApp:
         return self.history.shape[0]
 
 
+# ----------------------------------------------------------------------
+# adapter registry: raw simulation type -> SimulationApp wrapper
+# ----------------------------------------------------------------------
+
+#: Simulation type -> adapter callable.  Scenario packages extend this
+#: through :func:`register_adapter`, so resolving a workload never means
+#: editing the engine again.
+_ADAPTERS: dict = {}
+_BUILTINS_REGISTERED = False
+
+
+def register_adapter(sim_type: type, adapter) -> None:
+    """Teach :func:`as_simulation_app` to wrap ``sim_type`` instances.
+
+    ``adapter(sim) -> SimulationApp`` is applied to any object whose
+    type (or parent type) matches.  Registering a second adapter for
+    the same type is a configuration error — silent replacement would
+    make workload resolution order-dependent.
+    """
+    if not isinstance(sim_type, type):
+        raise ConfigurationError(
+            f"sim_type must be a type, got {type(sim_type).__name__}"
+        )
+    if not callable(adapter):
+        raise ConfigurationError(
+            f"adapter for {sim_type.__name__} must be callable"
+        )
+    if sim_type in _ADAPTERS:
+        raise ConfigurationError(
+            f"an adapter for {sim_type.__name__} is already registered"
+        )
+    _ADAPTERS[sim_type] = adapter
+
+
+def _ensure_builtin_adapters() -> None:
+    """Register the two substrate adapters on first resolution miss.
+
+    Lazy so the engine does not drag both substrate packages in for
+    users driving only one (or a custom app).
+    """
+    global _BUILTINS_REGISTERED
+    if _BUILTINS_REGISTERED:
+        return
+    _BUILTINS_REGISTERED = True
+    from repro.lulesh.simulation import LuleshSimulation
+    from repro.wdmerger.merger import WdMergerSimulation
+
+    if LuleshSimulation not in _ADAPTERS:
+        register_adapter(LuleshSimulation, LuleshApp)
+    if WdMergerSimulation not in _ADAPTERS:
+        register_adapter(WdMergerSimulation, WdMergerApp)
+
+
 def as_simulation_app(obj) -> SimulationApp:
     """Coerce a raw simulation (or an app) to a :class:`SimulationApp`.
 
-    Known simulation types get their adapter automatically; anything
-    already satisfying the protocol passes through unchanged.
+    Anything already satisfying the protocol passes through unchanged;
+    raw simulation types with a registered adapter (see
+    :func:`register_adapter`) get wrapped.  The raw substrate classes
+    do not satisfy the protocol (no ``done``/``max_iterations``), so
+    they never short-circuit past their adapters.
     """
     if isinstance(obj, (LuleshApp, WdMergerApp, ReplayApp)):
         return obj
     if isinstance(obj, SimulationApp):
         return obj
-    # Lazy imports: the engine must not drag both substrate packages in
-    # for users driving only one (or a custom app).  The raw simulation
-    # classes do not satisfy the protocol (no done/max_iterations), so
-    # they never short-circuit above.
-    from repro.lulesh.simulation import LuleshSimulation
-    from repro.wdmerger.merger import WdMergerSimulation
-
-    if isinstance(obj, LuleshSimulation):
-        return LuleshApp(obj)
-    if isinstance(obj, WdMergerSimulation):
-        return WdMergerApp(obj)
+    _ensure_builtin_adapters()
+    for klass in type(obj).__mro__:
+        adapter = _ADAPTERS.get(klass)
+        if adapter is not None:
+            return adapter(obj)
     raise ConfigurationError(
         f"{type(obj).__name__} is not a SimulationApp: it needs step(), "
-        "domain, done and max_iterations (see repro.engine.workload)"
+        "domain, done and max_iterations (see repro.engine.workload), "
+        "or an adapter registered via register_adapter()"
     )

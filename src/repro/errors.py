@@ -24,6 +24,15 @@ class NotTrainedError(ReproError):
     """A prediction was requested from a model with no completed updates."""
 
 
+class ScenarioError(ConfigurationError):
+    """A scenario specification is malformed, duplicated or unknown.
+
+    Raised by the :mod:`repro.scenarios` registry: registering a spec
+    whose fields do not satisfy the declarative contract, registering
+    two specs under one name, or resolving a name nobody registered.
+    """
+
+
 class CollectionError(ReproError):
     """Data collection observed inconsistent simulation state.
 

@@ -22,8 +22,7 @@ from repro.core.curve_fitting import CurveFitting
 from repro.core.params import IterParam, as_iter_param
 from repro.engine import InSituEngine, ReplayApp
 from repro.errors import ConfigurationError
-from repro.lulesh import LuleshSimulation
-from repro.wdmerger import WdMergerSimulation
+from repro.scenarios import build_sim
 
 
 @dataclass
@@ -92,9 +91,17 @@ class LuleshReference:
 
 @lru_cache(maxsize=8)
 def lulesh_reference(size: int) -> LuleshReference:
-    """Run (once per size) the full simulation, recording every node."""
-    sim = LuleshSimulation(
-        size, maintain_field=False, record_locations=list(range(size + 1))
+    """Run (once per size) the full simulation, recording every node.
+
+    The simulation is resolved by scenario name, so the reference run
+    is built from exactly the workload the registry serves — with the
+    recording arguments only ground truth needs layered on top.
+    """
+    sim = build_sim(
+        "lulesh-sedov",
+        size=size,
+        maintain_field=False,
+        record_locations=list(range(size + 1)),
     )
     result = sim.run()
     return LuleshReference(
@@ -122,7 +129,9 @@ class WdReference:
 @lru_cache(maxsize=8)
 def wdmerger_reference(resolution: int) -> WdReference:
     """Run (once per resolution) the full merger with grid diagnostics."""
-    sim = WdMergerSimulation(resolution)
+    sim = build_sim(
+        "wdmerger-detonation", resolution=resolution, maintain_grid=True
+    )
     sim.run()
     history = sim.history
     return WdReference(

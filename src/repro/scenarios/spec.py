@@ -1,0 +1,516 @@
+"""Scenario specifications: declarative, registry-resolved workloads.
+
+A *scenario* is everything the engine needs to run one in-situ
+feature-extraction workload end to end — simulation factory, provider
+set, analysis windows, termination policy and the reference quantities
+the extracted features are validated against — captured as data in a
+:class:`ScenarioSpec` instead of as a bespoke experiment script.  The
+registry makes workloads name-addressable: the CLI, the experiment
+drivers and CI all resolve ``"heat-diffusion"`` or ``"lulesh-sedov"``
+through :func:`get` and drive them through the one runner,
+:func:`run_scenario`.
+
+Adding a workload is declarative: implement a
+:class:`~repro.engine.workload.SimulationApp` (or register an adapter
+for a raw simulation type), write module-level factories for the app
+and its analyses, a validator comparing the fitted predictions against
+the scenario's ground truth, and call :func:`register` with the
+assembled spec — roughly a hundred lines, with the engine, the
+vectorized data plane and the distributed runtime inherited for free.
+
+Every spec must be runnable serial *and* distributed: the runner can
+cross-check an ``n_ranks > 1`` run against a fresh serial run and
+report any divergence, which is what the CI scenario-smoke matrix
+fails on.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro.core.curve_fitting import Analysis
+from repro.engine import (
+    BACKEND_MULTIPROCESSING,
+    BACKEND_SIMCOMM,
+    BACKENDS,
+    POLICIES,
+    DistributedEngine,
+    EngineResult,
+    InSituEngine,
+)
+from repro.errors import ScenarioError
+
+#: Serial-vs-distributed agreement bound the cross-check enforces.
+DIVERGENCE_TOL = 1e-12
+
+#: Aliases accepted anywhere a backend name is taken (CLI ``--backend mp``).
+BACKEND_ALIASES = {
+    "mp": BACKEND_MULTIPROCESSING,
+    BACKEND_SIMCOMM: BACKEND_SIMCOMM,
+    BACKEND_MULTIPROCESSING: BACKEND_MULTIPROCESSING,
+}
+
+
+def json_safe(value):
+    """Coerce a metric value for strict-JSON output.
+
+    Finite numbers pass through as floats; non-finite floats become
+    their string form (``"inf"``/``"nan"``) because ``json.dump``
+    would otherwise emit bare ``Infinity``/``NaN`` tokens that strict
+    parsers (jq, ``JSON.parse``) reject.
+    """
+    if value is None:
+        return value
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        number = float(value)
+        return number if np.isfinite(number) else str(number)
+    return value
+
+
+def resolve_backend(name: str) -> str:
+    """Canonical backend name for ``name`` (accepts the ``mp`` alias)."""
+    backend = BACKEND_ALIASES.get(name)
+    if backend is None:
+        raise ScenarioError(
+            f"unknown backend {name!r}; expected one of "
+            f"{sorted(set(BACKEND_ALIASES))}"
+        )
+    return backend
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Declarative binding of one workload to the in-situ engine.
+
+    Parameters
+    ----------
+    name:
+        Registry key (kebab-case by convention).
+    physics:
+        One-line description of the simulated system.
+    ground_truth:
+        One-line description of the reference quantities the fitted
+        predictions are validated against.
+    providers:
+        Human-readable names of the variable providers the scenario's
+        analyses read through (documentation; the callables themselves
+        live in the factories).
+    app_factory:
+        ``app_factory(**params) -> SimulationApp-or-raw-simulation``.
+        Must be a module-level callable (the multiprocessing backend
+        ships it to worker ranks), and must build a *deterministic*
+        simulation: distributed replicas must step bit-identically.
+    analysis_factory:
+        ``analysis_factory(**params) -> sequence of Analysis``.  Fresh
+        analyses every call — the runner builds independent sets for
+        the serial and distributed legs of a cross-check.
+    validator:
+        ``validator(app, analyses, result, **params) -> mapping`` of
+        accuracy metrics.  Must include key ``"error"`` — the headline
+        prediction-vs-ground-truth error (percent); the run passes when
+        ``error <= tolerance``.
+    defaults:
+        Full parameter set the factories and validator accept.
+    quick:
+        Overrides applied on top of ``defaults`` for smoke runs
+        (``--quick``): smaller grids, shorter windows.
+    policy, quorum:
+        Scheduler termination policy for the scenario's analysis set.
+    backends:
+        Execution backends the scenario supports distributed runs on
+        (a provider captured in a closure, for example, cannot be
+        shipped to multiprocessing workers).
+    tolerance:
+        Bound on the validator's ``"error"`` metric, in percent.
+    """
+
+    name: str
+    physics: str
+    ground_truth: str
+    providers: Tuple[str, ...]
+    app_factory: Callable[..., object]
+    analysis_factory: Callable[..., Sequence[Analysis]]
+    validator: Callable[..., Mapping]
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    quick: Mapping[str, object] = field(default_factory=dict)
+    policy: str = "all"
+    quorum: Optional[Union[int, float]] = None
+    backends: Tuple[str, ...] = (BACKEND_SIMCOMM, BACKEND_MULTIPROCESSING)
+    tolerance: float = 5.0
+
+    def params(
+        self, *, quick: bool = False, overrides: Optional[Mapping] = None
+    ) -> Dict[str, object]:
+        """Effective parameter dict: defaults, quick overrides, user overrides."""
+        merged = dict(self.defaults)
+        if quick:
+            merged.update(self.quick)
+        if overrides:
+            unknown = sorted(set(overrides) - set(self.defaults))
+            if unknown:
+                raise ScenarioError(
+                    f"scenario {self.name!r} has no parameter(s) {unknown}; "
+                    f"available: {sorted(self.defaults)}"
+                )
+            merged.update(overrides)
+        return merged
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-ready metadata row (the CLI ``list`` payload)."""
+        return {
+            "name": self.name,
+            "physics": self.physics,
+            "ground_truth": self.ground_truth,
+            "providers": list(self.providers),
+            "policy": self.policy,
+            "backends": list(self.backends),
+            "tolerance": self.tolerance,
+            "defaults": {k: repr(v) for k, v in sorted(self.defaults.items())},
+        }
+
+
+def _validate_spec(spec: ScenarioSpec) -> None:
+    if not isinstance(spec, ScenarioSpec):
+        raise ScenarioError(f"expected a ScenarioSpec, got {type(spec).__name__}")
+    if not spec.name or not isinstance(spec.name, str):
+        raise ScenarioError(f"scenario name must be a non-empty str, got {spec.name!r}")
+    for label, fn in (
+        ("app_factory", spec.app_factory),
+        ("analysis_factory", spec.analysis_factory),
+        ("validator", spec.validator),
+    ):
+        if not callable(fn):
+            raise ScenarioError(
+                f"scenario {spec.name!r}: {label} must be callable, "
+                f"got {type(fn).__name__}"
+            )
+    if spec.policy not in POLICIES:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: policy must be one of {POLICIES}, "
+            f"got {spec.policy!r}"
+        )
+    if not spec.backends:
+        raise ScenarioError(f"scenario {spec.name!r}: needs at least one backend")
+    for backend in spec.backends:
+        if backend not in BACKENDS:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: unknown backend {backend!r} "
+                f"(valid: {BACKENDS})"
+            )
+    for label, mapping in (("defaults", spec.defaults), ("quick", spec.quick)):
+        if not isinstance(mapping, Mapping) or not all(
+            isinstance(k, str) for k in mapping
+        ):
+            raise ScenarioError(
+                f"scenario {spec.name!r}: {label} must be a str-keyed mapping",
+            )
+    stray = sorted(set(spec.quick) - set(spec.defaults))
+    if stray:
+        raise ScenarioError(
+            f"scenario {spec.name!r}: quick overrides {stray} name no "
+            f"default parameter (have {sorted(spec.defaults)})"
+        )
+    if not (
+        isinstance(spec.tolerance, (int, float))
+        and not isinstance(spec.tolerance, bool)
+        and spec.tolerance > 0
+    ):
+        raise ScenarioError(
+            f"scenario {spec.name!r}: tolerance must be a positive number, "
+            f"got {spec.tolerance!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec) -> ScenarioSpec:
+    """Validate ``spec`` and add it to the registry; returns it.
+
+    Raises :class:`~repro.errors.ScenarioError` on a malformed spec or
+    a duplicate name.
+    """
+    _validate_spec(spec)
+    if spec.name in _REGISTRY:
+        raise ScenarioError(
+            f"a scenario named {spec.name!r} is already registered; "
+            "scenario names must be unique (unregister it first to replace)"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove one scenario (primarily for tests registering throwaways)."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioSpec:
+    """Resolve a registered scenario by name."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; registered scenarios: {names()}",
+        )
+    return spec
+
+
+def names() -> List[str]:
+    """Sorted names of every registered scenario."""
+    return sorted(_REGISTRY)
+
+
+def specs() -> List[ScenarioSpec]:
+    """Every registered spec, sorted by name."""
+    return [_REGISTRY[name] for name in names()]
+
+
+def build_sim(name: str, **overrides) -> object:
+    """Build the scenario's simulation with default params + ``overrides``.
+
+    Unlike :meth:`ScenarioSpec.params`, overrides here may add keys the
+    defaults do not name (e.g. the experiment drivers' recording
+    arguments), because they go straight to the factory.
+    """
+    spec = get(name)
+    return spec.app_factory(**{**spec.defaults, **overrides})
+
+
+# ----------------------------------------------------------------------
+# runner
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one :func:`run_scenario` call."""
+
+    name: str
+    n_ranks: int
+    backend: str
+    quick: bool
+    params: Dict[str, object]
+    result: EngineResult
+    analyses: Tuple[Analysis, ...]
+    metrics: Dict[str, object]
+    tolerance: float
+    seconds: float
+    crosscheck: Optional[Dict[str, object]] = None
+
+    @property
+    def error(self) -> float:
+        """Headline prediction-vs-ground-truth error (percent)."""
+        return float(self.metrics["error"])
+
+    @property
+    def accuracy_ok(self) -> bool:
+        return bool(np.isfinite(self.error) and self.error <= self.tolerance)
+
+    @property
+    def crosscheck_ok(self) -> bool:
+        """True when no cross-check ran or the cross-check agreed."""
+        return self.crosscheck is None or bool(self.crosscheck["ok"])
+
+    @property
+    def ok(self) -> bool:
+        return self.accuracy_ok and self.crosscheck_ok
+
+    def to_json(self) -> Dict[str, object]:
+        """JSON-serialisable summary (the CLI ``run --json`` payload).
+
+        Strictly valid JSON: non-finite floats (a validator reporting
+        ``error: inf`` on a failed run) are rendered as strings, never
+        as the bare ``Infinity`` token strict parsers reject.
+        """
+        return {
+            "scenario": self.name,
+            "ranks": self.n_ranks,
+            "backend": self.backend,
+            "quick": self.quick,
+            "params": {k: repr(v) for k, v in sorted(self.params.items())},
+            "iterations": self.result.iterations,
+            "terminated_early": self.result.terminated_early,
+            "stopped_at": dict(self.result.stopped_at),
+            "metrics": {k: json_safe(v) for k, v in self.metrics.items()},
+            "tolerance": self.tolerance,
+            "seconds": self.seconds,
+            "crosscheck": self.crosscheck,
+            "ok": self.ok,
+        }
+
+
+def crosscheck_analyses(
+    serial: Sequence[Analysis], distributed: Sequence[Analysis]
+) -> Dict[str, object]:
+    """Divergence report between two analysis sets trained on one scenario.
+
+    Compares fitted coefficients, intercepts and update counts pairwise
+    (the sets come from :meth:`ScenarioSpec.analysis_factory`, so they
+    align by construction).  The report carries ``compared`` — how many
+    pairs actually had models to compare — so a spec whose analyses
+    keep their fit elsewhere cannot sail through as a vacuous
+    "max delta 0.0": the runner's ``ok`` requires every pair compared.
+    """
+    max_delta = 0.0
+    updates_match = len(serial) == len(distributed)
+    compared = 0
+    for left, right in zip(serial, distributed):
+        left_model = getattr(left, "model", None)
+        right_model = getattr(right, "model", None)
+        if left_model is None or right_model is None:
+            continue
+        compared += 1
+        if left_model.is_trained != right_model.is_trained:
+            updates_match = False
+            continue
+        if left_model.is_trained:
+            deltas = np.abs(left_model.coefficients - right_model.coefficients)
+            max_delta = max(
+                max_delta,
+                float(deltas.max()),
+                abs(float(left_model.intercept - right_model.intercept)),
+            )
+        left_trainer = getattr(left, "trainer", None)
+        right_trainer = getattr(right, "trainer", None)
+        if left_trainer is not None and right_trainer is not None:
+            both = left_trainer.updates == right_trainer.updates
+            updates_match = updates_match and both
+    return {
+        "max_coefficient_delta": max_delta,
+        "updates_match": updates_match,
+        "compared": compared,
+        "analyses": max(len(serial), len(distributed)),
+        "tolerance": DIVERGENCE_TOL,
+    }
+
+
+def run_scenario(
+    name: str,
+    *,
+    n_ranks: int = 1,
+    backend: str = BACKEND_SIMCOMM,
+    quick: bool = False,
+    params: Optional[Mapping] = None,
+    crosscheck: Optional[bool] = None,
+    max_iterations: Optional[int] = None,
+) -> ScenarioRun:
+    """Resolve ``name`` and run it end to end (build, run, validate).
+
+    ``n_ranks == 1`` drives the serial
+    :class:`~repro.engine.InSituEngine`; more ranks shard the scenario
+    through :class:`~repro.engine.DistributedEngine` on ``backend``.
+    ``crosscheck`` (default: on for distributed runs) additionally runs
+    a fresh serial engine over a fresh app and reports the divergence
+    between the two fitted analysis sets — the CI smoke matrix fails a
+    scenario whose report exceeds :data:`DIVERGENCE_TOL`.
+    """
+    spec = get(name)
+    backend = resolve_backend(backend)
+    if n_ranks <= 0:
+        raise ScenarioError(f"n_ranks must be positive, got {n_ranks}")
+    if n_ranks > 1 and backend not in spec.backends:
+        raise ScenarioError(
+            f"scenario {name!r} supports backends {spec.backends}, "
+            f"not {backend!r}"
+        )
+    merged = spec.params(quick=quick, overrides=params)
+    if crosscheck is None:
+        crosscheck = n_ranks > 1
+
+    def _serial_leg():
+        app = spec.app_factory(**merged)
+        engine = InSituEngine(app, policy=spec.policy, quorum=spec.quorum, name=name)
+        analyses = [
+            engine.add_analysis(a) for a in spec.analysis_factory(**merged)
+        ]
+        result = engine.run(max_iterations=max_iterations)
+        return engine.app, analyses, result
+
+    start = time.perf_counter()
+    if n_ranks == 1:
+        app, analyses, result = _serial_leg()
+    else:
+        if backend == BACKEND_MULTIPROCESSING:
+            import functools
+
+            engine = DistributedEngine(
+                backend=backend,
+                n_ranks=n_ranks,
+                app_factory=functools.partial(spec.app_factory, **merged),
+                policy=spec.policy,
+                quorum=spec.quorum,
+                name=name,
+            )
+        else:
+            engine = DistributedEngine(
+                spec.app_factory(**merged),
+                backend=backend,
+                n_ranks=n_ranks,
+                policy=spec.policy,
+                quorum=spec.quorum,
+                name=name,
+            )
+        analyses = [
+            engine.add_analysis(a) for a in spec.analysis_factory(**merged)
+        ]
+        result = engine.run(max_iterations=max_iterations)
+        app = engine.app
+    seconds = time.perf_counter() - start
+
+    metrics = dict(spec.validator(app, analyses, result, **merged))
+    if "error" not in metrics:
+        raise ScenarioError(
+            f"scenario {name!r}: validator returned no 'error' metric "
+            f"(got keys {sorted(metrics)})"
+        )
+
+    report: Optional[Dict[str, object]] = None
+    if crosscheck:
+        _, serial_analyses, serial_result = _serial_leg()
+        report = crosscheck_analyses(serial_analyses, analyses)
+        report["stops_match"] = serial_result.stopped_at == result.stopped_at
+        report["iterations_match"] = serial_result.iterations == result.iterations
+        report["ok"] = (
+            report["max_coefficient_delta"] <= DIVERGENCE_TOL
+            and report["updates_match"]
+            and report["stops_match"]
+            and report["iterations_match"]
+            and report["compared"] == report["analyses"]
+        )
+
+    return ScenarioRun(
+        name=name,
+        n_ranks=n_ranks,
+        backend=backend if n_ranks > 1 else "serial",
+        quick=quick,
+        params=merged,
+        result=result,
+        analyses=tuple(analyses),
+        metrics=metrics,
+        tolerance=spec.tolerance,
+        seconds=seconds,
+        crosscheck=report,
+    )

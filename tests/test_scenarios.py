@@ -1,0 +1,324 @@
+"""Tests for the scenario platform: registry, specs, runner.
+
+The acceptance core: every registered scenario must round-trip
+``ScenarioSpec -> serial engine run -> distributed run`` bit-identically
+(<= 1e-12 on fitted coefficients, equal stop iterations), its fitted
+prediction must match the scenario's ground truth within the spec's
+tested tolerance, and registering a duplicate or malformed spec must
+raise a clear :class:`repro.errors.ScenarioError`.
+"""
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.engine import (
+    DistributedEngine,
+    ReplayApp,
+    as_simulation_app,
+    register_adapter,
+)
+from repro.engine.workload import _ADAPTERS
+from repro.errors import ConfigurationError, ScenarioError
+from repro.scenarios import ScenarioSpec
+from repro.scenarios.spec import DIVERGENCE_TOL
+
+BUILTINS = (
+    "advection-front",
+    "heat-diffusion",
+    "lulesh-sedov",
+    "oscillator-ringdown",
+    "wdmerger-detonation",
+)
+
+
+def _dummy_spec(**overrides):
+    fields = dict(
+        name="dummy",
+        physics="p",
+        ground_truth="g",
+        providers=("x",),
+        app_factory=lambda **_: ReplayApp(np.ones((4, 2))),
+        analysis_factory=lambda **_: [],
+        validator=lambda app, analyses, result, **_: {"error": 0.0},
+        defaults={"a": 1},
+        quick={},
+    )
+    fields.update(overrides)
+    return ScenarioSpec(**fields)
+
+
+# ----------------------------------------------------------------------
+# registry contract
+# ----------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert set(BUILTINS) <= set(scenarios.names())
+        assert len(scenarios.names()) >= 5
+
+    def test_specs_sorted_and_resolvable(self):
+        listed = scenarios.specs()
+        assert [spec.name for spec in listed] == scenarios.names()
+        for spec in listed:
+            assert scenarios.get(spec.name) is spec
+
+    def test_unknown_name_raises_with_available(self):
+        with pytest.raises(ScenarioError, match="registered scenarios"):
+            scenarios.get("no-such-scenario")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ScenarioError, match="already registered"):
+            scenarios.register(_dummy_spec(name="heat-diffusion"))
+
+    def test_register_and_unregister_roundtrip(self):
+        spec = _dummy_spec(name="throwaway-scenario")
+        try:
+            assert scenarios.register(spec) is spec
+            assert "throwaway-scenario" in scenarios.names()
+        finally:
+            scenarios.unregister("throwaway-scenario")
+        assert "throwaway-scenario" not in scenarios.names()
+
+    @pytest.mark.parametrize(
+        "overrides, match",
+        [
+            ({"name": ""}, "non-empty"),
+            ({"app_factory": None}, "callable"),
+            ({"analysis_factory": 3}, "callable"),
+            ({"validator": "nope"}, "callable"),
+            ({"policy": "sometimes"}, "policy"),
+            ({"backends": ()}, "backend"),
+            ({"backends": ("mpi",)}, "unknown backend"),
+            ({"quick": {"b": 2}}, "quick overrides"),
+            ({"defaults": [1, 2]}, "mapping"),
+            ({"tolerance": -1.0}, "tolerance"),
+            ({"tolerance": True}, "tolerance"),
+        ],
+    )
+    def test_malformed_spec_rejected(self, overrides, match):
+        with pytest.raises(ScenarioError, match=match):
+            scenarios.register(_dummy_spec(**overrides))
+
+    def test_non_spec_rejected(self):
+        with pytest.raises(ScenarioError, match="ScenarioSpec"):
+            scenarios.register({"name": "dict-not-spec"})
+
+    def test_unknown_param_override_rejected(self):
+        spec = scenarios.get("heat-diffusion")
+        with pytest.raises(ScenarioError, match="no parameter"):
+            spec.params(overrides={"n_nodez": 10})
+
+    def test_params_layering(self):
+        spec = scenarios.get("heat-diffusion")
+        base = spec.params()
+        quick = spec.params(quick=True)
+        custom = spec.params(quick=True, overrides={"n_nodes": 5})
+        assert base["n_nodes"] == spec.defaults["n_nodes"]
+        assert quick["n_nodes"] == spec.quick["n_nodes"]
+        assert custom["n_nodes"] == 5
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        for spec in scenarios.specs():
+            payload = spec.describe()
+            json.dumps(payload)
+            assert payload["name"] == spec.name
+            assert payload["providers"]
+
+
+# ----------------------------------------------------------------------
+# runner semantics
+# ----------------------------------------------------------------------
+
+
+class TestRunner:
+    def test_backend_alias_resolution(self):
+        assert scenarios.resolve_backend("mp") == "multiprocessing"
+        assert scenarios.resolve_backend("simcomm") == "simcomm"
+        with pytest.raises(ScenarioError, match="unknown backend"):
+            scenarios.resolve_backend("mpi")
+
+    def test_unsupported_backend_rejected(self):
+        # wdmerger's diagnostic providers close over the variable name,
+        # so the spec declares simcomm only.
+        with pytest.raises(ScenarioError, match="supports backends"):
+            scenarios.run_scenario(
+                "wdmerger-detonation", n_ranks=2, backend="mp", quick=True
+            )
+
+    def test_nonpositive_ranks_rejected(self):
+        with pytest.raises(ScenarioError, match="n_ranks"):
+            scenarios.run_scenario("heat-diffusion", n_ranks=0)
+
+    def test_validator_must_report_error(self):
+        spec = _dummy_spec(
+            name="no-error-metric",
+            validator=lambda app, analyses, result, **_: {"score": 1.0},
+        )
+        scenarios.register(spec)
+        try:
+            with pytest.raises(ScenarioError, match="'error' metric"):
+                scenarios.run_scenario("no-error-metric")
+        finally:
+            scenarios.unregister("no-error-metric")
+
+    def test_run_json_payload(self):
+        import json
+
+        run = scenarios.run_scenario("oscillator-ringdown", quick=True)
+        payload = run.to_json()
+        json.dumps(payload)
+        assert payload["scenario"] == "oscillator-ringdown"
+        assert payload["backend"] == "serial"
+        assert payload["ok"] is True
+        assert payload["crosscheck"] is None
+
+    def test_failed_run_payload_is_strict_json(self):
+        import json
+
+        # An uncrossable threshold leaves no front events; the validator
+        # reports error=inf, which must not leak a bare Infinity token.
+        run = scenarios.run_scenario(
+            "advection-front", quick=True, params={"threshold": 2.0}
+        )
+        assert not run.ok
+        payload = run.to_json()
+        encoded = json.dumps(payload, allow_nan=False)
+        assert json.loads(encoded)["metrics"]["error"] == "inf"
+
+    def test_json_safe_values(self):
+        assert scenarios.json_safe(1.5) == 1.5
+        assert scenarios.json_safe(float("inf")) == "inf"
+        assert scenarios.json_safe(float("nan")) == "nan"
+        assert scenarios.json_safe(np.float64(2.0)) == 2.0
+        assert scenarios.json_safe(True) is True
+        assert scenarios.json_safe("x") == "x"
+        assert scenarios.json_safe(None) is None
+
+    def test_crosscheck_counts_modelless_analyses(self):
+        # Analyses without a .model cannot be compared; the report must
+        # say so instead of defaulting to a vacuous zero delta.
+        class Opaque:
+            pass
+
+        report = scenarios.crosscheck_analyses([Opaque()], [Opaque()])
+        assert report["compared"] == 0
+        assert report["analyses"] == 1
+        assert report["max_coefficient_delta"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# acceptance: every scenario round-trips serial -> distributed
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", BUILTINS)
+    def test_distributed_matches_serial_and_ground_truth(self, name):
+        run = scenarios.run_scenario(name, n_ranks=2, quick=True)
+        # Ground truth within the spec's tested tolerance.
+        assert np.isfinite(run.error)
+        assert run.error <= run.tolerance
+        # Serial and distributed runs agree bit-identically.
+        report = run.crosscheck
+        assert report is not None
+        assert report["max_coefficient_delta"] <= DIVERGENCE_TOL
+        assert report["updates_match"]
+        assert report["stops_match"]
+        assert report["iterations_match"]
+        assert report["compared"] == len(run.analyses)
+        assert run.ok
+
+    def test_serial_run_skips_crosscheck_by_default(self):
+        run = scenarios.run_scenario("heat-diffusion", quick=True)
+        assert run.crosscheck is None
+        assert run.backend == "serial"
+        assert run.ok
+
+    def test_multiprocessing_backend_roundtrip(self):
+        run = scenarios.run_scenario(
+            "heat-diffusion", n_ranks=2, backend="mp", quick=True
+        )
+        assert run.backend == "multiprocessing"
+        assert run.ok
+
+    def test_advection_wavefront_ranks_span_decomposition(self):
+        # The threshold events must carry the owner rank of the moving
+        # front: early events belong to rank 0's block, late ones to
+        # rank 1's.
+        spec = scenarios.get("advection-front")
+        params = spec.params(quick=True)
+        engine = DistributedEngine(
+            spec.app_factory(**params), n_ranks=2, policy=spec.policy
+        )
+        for analysis in spec.analysis_factory(**params):
+            engine.add_analysis(analysis)
+        engine.run()
+        ranks = {e.wavefront_rank for e in engine.broadcaster.history}
+        assert ranks == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# workload adapter registry
+# ----------------------------------------------------------------------
+
+
+class _ToySim:
+    def __init__(self):
+        self.t = 0
+
+
+class _ToyApp:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def step(self):
+        self.sim.t += 1
+
+    @property
+    def domain(self):
+        return self.sim
+
+    @property
+    def done(self):
+        return self.sim.t >= 3
+
+    @property
+    def max_iterations(self):
+        return 3
+
+
+class TestAdapterRegistry:
+    def test_custom_adapter_resolves(self):
+        try:
+            register_adapter(_ToySim, _ToyApp)
+            app = as_simulation_app(_ToySim())
+            assert isinstance(app, _ToyApp)
+        finally:
+            _ADAPTERS.pop(_ToySim, None)
+
+    def test_duplicate_adapter_rejected(self):
+        try:
+            register_adapter(_ToySim, _ToyApp)
+            with pytest.raises(ConfigurationError, match="already registered"):
+                register_adapter(_ToySim, _ToyApp)
+        finally:
+            _ADAPTERS.pop(_ToySim, None)
+
+    def test_non_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="type"):
+            register_adapter("not-a-type", _ToyApp)
+
+    def test_unadaptable_object_rejected(self):
+        with pytest.raises(ConfigurationError, match="SimulationApp"):
+            as_simulation_app(object())
+
+    def test_builtin_simulations_still_adapt(self):
+        from repro.engine import LuleshApp
+        from repro.lulesh import LuleshSimulation
+
+        app = as_simulation_app(LuleshSimulation(8, maintain_field=False))
+        assert isinstance(app, LuleshApp)
