@@ -66,6 +66,8 @@ from repro.core.capi import (
     td_region_init,
 )
 from repro.engine import (
+    CadenceController,
+    CadencePolicy,
     InSituEngine,
     LuleshApp,
     ReplayApp,
@@ -91,6 +93,8 @@ __all__ = [
     "ARModel",
     "Analysis",
     "BreakPointFeature",
+    "CadenceController",
+    "CadencePolicy",
     "CollectionError",
     "ConfigurationError",
     "CurveFitting",

@@ -12,10 +12,13 @@ Three subcommands drive the scenario registry
     Build, run and validate one scenario.  ``--ranks N`` shards it
     over the distributed runtime (``--backend simcomm|mp``) and — by
     default — cross-checks the fitted analyses against a fresh serial
-    run, failing on any divergence beyond 1e-12.  ``--quick`` applies
-    the spec's trimmed smoke parameters; ``--json out.json`` writes
-    the full report.  Exit status 1 on validation failure or
-    serial/distributed divergence.
+    run, failing on any divergence beyond 1e-12.  ``--adaptive``
+    enables the spec's adaptive collection cadence (scenarios that
+    support it report ``adaptive`` in ``list``); the validator bound
+    still applies, so CI can fail an adaptive run whose accuracy
+    drifts.  ``--quick`` applies the spec's trimmed smoke parameters;
+    ``--json out.json`` writes the full report.  Exit status 1 on
+    validation failure or serial/distributed divergence.
 
 ``bench``
     Time every (or the named) scenario serial and distributed, print a
@@ -72,14 +75,23 @@ def _cmd_list(args) -> int:
     width = max(len(spec.name) for spec in specs)
     print(f"{len(specs)} registered scenarios:\n")
     for spec in specs:
+        # Spell out where each scenario can run so callers pick a
+        # supported --backend up front instead of discovering the
+        # limit by failure (wdmerger, for one, is simcomm-only).
+        # Serial (--ranks 1) always works and needs no backend flag.
         backends = ",".join(spec.backends)
+        adaptive = "yes" if spec.adaptive_supported else "no"
         print(f"  {spec.name.ljust(width)}  {spec.physics}")
         print(f"  {' ' * width}  ground truth: {spec.ground_truth}")
         print(
-            f"  {' ' * width}  policy={spec.policy} backends={backends} "
-            f"tolerance={spec.tolerance:g}"
+            f"  {' ' * width}  policy={spec.policy} "
+            f"distributed-backends={backends} "
+            f"adaptive={adaptive} tolerance={spec.tolerance:g}"
         )
-    print("\nrun one with: python -m repro run <scenario> [--quick] [--ranks N]")
+    print(
+        "\nrun one with: python -m repro run <scenario> "
+        "[--quick] [--ranks N] [--adaptive]"
+    )
     return 0
 
 
@@ -89,6 +101,7 @@ def _cmd_run(args) -> int:
         n_ranks=args.ranks,
         backend=args.backend,
         quick=args.quick,
+        adaptive=args.adaptive,
         params=_parse_params(args.param),
         crosscheck=False if args.no_crosscheck else None,
         max_iterations=args.max_iterations,
@@ -97,6 +110,8 @@ def _cmd_run(args) -> int:
         mode = "serial"
     else:
         mode = f"{run.n_ranks} ranks ({run.backend})"
+    if run.adaptive:
+        mode += " + adaptive cadence"
     print(f"scenario  : {run.name}{' [quick]' if run.quick else ''}")
     print(f"mode      : {mode}")
     print(
@@ -118,6 +133,15 @@ def _cmd_run(args) -> int:
         f"accuracy  : error {run.error:.4g} vs tolerance "
         f"{run.tolerance:g} -> {verdict}"
     )
+    if run.result.cadence is not None:
+        totals = run.result.cadence["totals"]
+        print(
+            "cadence   : sampling reduction "
+            f"{totals['sampling_reduction']:.2f}x "
+            f"({totals['collected']} collected + {totals['probed']} probes "
+            f"vs {totals['matching_iterations']} full-cadence rows, "
+            f"{totals['snapbacks']} snap-backs)"
+        )
     if run.crosscheck is not None:
         report = run.crosscheck
         verdict = "PASS" if run.crosscheck_ok else "FAIL"
@@ -224,6 +248,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--quick", action="store_true", help="use the spec's smoke parameters"
+    )
+    p_run.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="enable the spec's adaptive collection cadence "
+        "(supported scenarios only; serial or simcomm)",
     )
     p_run.add_argument("--json", metavar="PATH", help="write the full report as JSON")
     p_run.add_argument(

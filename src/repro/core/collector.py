@@ -22,7 +22,7 @@ Two pairing modes cover the paper's two case studies:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -151,6 +151,31 @@ class SeriesStore:
             out._n = n_rows
         return out
 
+    def lag_exact(
+        self, index: int, *, lag_rows: int, order: int, step: int
+    ) -> bool:
+        """True when row ``index`` pairs lag-exactly with its features.
+
+        Training and post-hoc evaluation both address feature rows
+        positionally (the anchor ``lag_rows`` rows back, the ``order``
+        window behind it), which assumes uniform temporal spacing.  An
+        adaptive-cadence snap-back leaves gaps in the collected
+        iterations; this is THE predicate both sides share to reject a
+        pair built across one (collected iterations all sit on the
+        temporal grid, so checking the two endpoints pins every row
+        between).  At full cadence it always holds.
+        """
+        if index < 0:
+            index += self._n
+        anchor = index - lag_rows
+        lo = anchor - (order - 1)
+        if lo < 0 or index >= self._n:
+            return False
+        iters = self._iterations
+        return int(iters[index]) - int(iters[anchor]) == lag_rows * step and (
+            int(iters[anchor]) - int(iters[lo]) == (order - 1) * step
+        )
+
     def row_at(self, iteration: int) -> Optional[np.ndarray]:
         """Row collected at exactly ``iteration``, or None (O(1))."""
         idx = self._index.get(int(iteration))
@@ -272,6 +297,11 @@ class DataCollector:
         self.store = store
         self._samples_emitted = 0
         self._rows_ingested = 0
+        # Adaptive-cadence hooks (installed by the engine's cadence
+        # layer; both default to "off" so standalone collectors behave
+        # exactly as before).
+        self.cadence_gate: Optional[Callable[[int], bool]] = None
+        self._window_exhausted = False
 
     def rebind_store(self, store: SeriesStore) -> None:
         """Subscribe this collector to an existing (shared) store.
@@ -311,8 +341,26 @@ class DataCollector:
 
     @property
     def done(self) -> bool:
-        """True once the temporal window is exhausted."""
-        return len(self.store) >= self.temporal.count
+        """True once the temporal window is exhausted.
+
+        Normally that means every matching iteration was collected; an
+        adaptive-cadence run that skipped sampling instead marks the
+        window exhausted explicitly (:meth:`mark_window_exhausted`)
+        when the simulation passes the window's end.
+        """
+        return (
+            len(self.store) >= self.temporal.count or self._window_exhausted
+        )
+
+    def mark_window_exhausted(self) -> None:
+        """Declare the temporal window over despite uncollected rows.
+
+        Called by the adaptive cadence layer once the simulation has
+        run past ``temporal.end`` while sampling was widened, so the
+        owning analysis still concludes (finalize, early-stop decision)
+        exactly as it would at the end of a fully collected window.
+        """
+        self._window_exhausted = True
 
     def observe(self, domain: object, iteration: int) -> List[float]:
         """Inspect one simulation iteration; returns losses of any updates.
@@ -322,6 +370,10 @@ class DataCollector:
         immediately.
         """
         if not self.temporal.matches(iteration):
+            return []
+        if self.cadence_gate is not None and not self.cadence_gate(iteration):
+            # The cadence layer widened this window's stride: neither
+            # sample nor train on this iteration.
             return []
         if (
             self.store.last_iteration == iteration
@@ -387,6 +439,15 @@ class DataCollector:
         n = len(self.store)
         anchor = n - 1 - lag_rows
         if anchor - (self.order - 1) < 0:
+            return []
+        # A sample built across an adaptive-cadence gap would pair
+        # features at the wrong lag (see SeriesStore.lag_exact).
+        if not self.store.lag_exact(
+            n - 1,
+            lag_rows=lag_rows,
+            order=self.order,
+            step=self.temporal.step,
+        ):
             return []
         # Every location emits one sample: its `order` most recent
         # predecessors ending at the anchor row (most recent first)

@@ -57,6 +57,16 @@ class Analysis(abc.ABC):
             return 0
         return int(self.wavefront_rank_of(int(location)))
 
+    @property
+    def converged(self) -> bool:
+        """Convergence signal consumed by the adaptive cadence layer.
+
+        Subclasses with an early-stop monitor report its verdict; the
+        base class never converges, so a custom analysis keeps full
+        collection cadence unless it opts in.
+        """
+        return False
+
     @abc.abstractmethod
     def on_iteration(self, domain: object, iteration: int) -> Optional[StatusBroadcast]:
         """Observe one completed simulation iteration."""
@@ -163,6 +173,11 @@ class CurveFitting(Analysis):
         self._finalized = False
         self._converged_at: Optional[int] = None
 
+    @property
+    def converged(self) -> bool:
+        """True once the early-stop monitor has latched convergence."""
+        return self.monitor.converged
+
     # ------------------------------------------------------------------
     # in-situ hook
     # ------------------------------------------------------------------
@@ -254,26 +269,41 @@ class CurveFitting(Analysis):
         store = self.collector.store
         matrix = store.matrix()
         order = self.model.order
+        step = self.collector.temporal.step
+        lag_rows = self.model.lag // step
+        # Rows are paired positionally, which assumes uniform temporal
+        # spacing; an adaptive-cadence snap-back can leave gaps in the
+        # collected iterations, and a pair built across one would
+        # evaluate the model at the wrong lag.  Only lag-exact pairs
+        # are kept — the same SeriesStore.lag_exact predicate the
+        # training emitter applies, so training and evaluation always
+        # agree on which pairs are valid (at full cadence: every pair).
         if self.axis == "time":
             loc = int(store.locations[0]) if location is None else location
             iters, series = store.series(loc)
-            lag_rows = self.model.lag // self.collector.temporal.step
             start = order - 1 + lag_rows
-            if series.size <= start:
+            valid = [
+                i
+                for i in range(start, series.size)
+                if store.lag_exact(i, lag_rows=lag_rows, order=order, step=step)
+            ]
+            if series.size <= start or not valid:
                 raise NotTrainedError("not enough collected data to evaluate")
             features = np.stack(
                 [
                     series[i - lag_rows - order + 1: i - lag_rows + 1][::-1]
-                    for i in range(start, series.size)
+                    for i in valid
                 ]
             )
             predicted = self.model.predict_many(features)
-            return iters[start:], predicted, series[start:]
+            return iters[valid], predicted, series[valid]
         # axis == "space"
-        lag_rows = self.model.lag // self.collector.temporal.step
         first = self.collector.first_target_offset
         rows_pred, rows_real, kept_iters = [], [], []
         for i in range(lag_rows, matrix.shape[0]):
+            # Spatial features come from ONE lagged row, so order=1.
+            if not store.lag_exact(i, lag_rows=lag_rows, order=1, step=step):
+                continue
             lagged = matrix[i - lag_rows]
             features = np.stack(
                 [

@@ -1,6 +1,6 @@
-"""In-situ engine: shared collection, scheduling, workload abstraction.
+"""In-situ engine: one execution core, shared collection, workloads.
 
-Three layers (bottom-up):
+Five layers (bottom-up):
 
 * **Workload** (:mod:`repro.engine.workload`) — the
   :class:`SimulationApp` protocol plus adapters (:class:`LuleshApp`,
@@ -13,21 +13,27 @@ Three layers (bottom-up):
 * **Scheduling** (:mod:`repro.engine.scheduler`) —
   :class:`AnalysisScheduler` dispatches every active analysis each
   iteration with per-analysis early-stop state and an
-  ``any``/``all``/``quorum`` termination policy;
-  :class:`InSituEngine` couples a scheduler to an app and runs the
-  instrumented main loop.
-* **Distribution** (:mod:`repro.engine.distributed`) —
-  :class:`DistributedEngine` shards every collection group's spatial
-  window over ranks, reduces the rank-local shard rows and Chan-merged
-  partial statistics back through the communicator, and keeps the
-  termination decision collective.  Two backends behind one
-  :class:`RankExecutor` protocol: the deterministic ``"simcomm"``
-  cost-ledger backend and a real ``"multiprocessing"`` pool.
+  ``any``/``all``/``quorum`` termination policy.
+* **Execution** (:mod:`repro.engine.driver`) —
+  :class:`ExecutionDriver` runs the ONE main loop every engine shares
+  (step → collect → dispatch → collective stop → result assembly)
+  behind the :class:`Executor` seam: the serial engine plugs in the
+  trivial one-rank :class:`LocalExecutor`; the distributed engine
+  plugs in its shard-reducing backends.  The optional
+  :class:`~repro.engine.cadence.CadenceController`
+  (:mod:`repro.engine.cadence`) adapts the temporal sampling stride
+  once fits converge — off by default, preserving bit-identical
+  results.
+* **Engines** — :class:`InSituEngine` (serial) and
+  :class:`DistributedEngine` (rank-parallel over ``"simcomm"`` /
+  ``"multiprocessing"`` backends) are thin façades over the driver;
+  no caller-facing API changed when the loop was unified.
 
 The legacy :class:`~repro.core.region.Region` and the ``td_*`` C-style
 facade remain as thin compatibility wrappers over the scheduler.
 """
 
+from repro.engine.cadence import CadenceController, CadencePolicy
 from repro.engine.collection import CollectionGroup, SharedCollector
 from repro.engine.distributed import (
     BACKEND_MULTIPROCESSING,
@@ -35,11 +41,17 @@ from repro.engine.distributed import (
     BACKENDS,
     DistributedEngine,
     DistributedResult,
-    GroupPlan,
     MultiprocessExecutor,
     RankCollector,
     RankExecutor,
     SimCommExecutor,
+)
+from repro.engine.driver import (
+    EngineResult,
+    ExecutionDriver,
+    Executor,
+    GroupPlan,
+    LocalExecutor,
     plan_groups,
 )
 from repro.engine.scheduler import (
@@ -49,7 +61,6 @@ from repro.engine.scheduler import (
     POLICY_QUORUM,
     AnalysisScheduler,
     AnalysisState,
-    EngineResult,
     InSituEngine,
 )
 from repro.engine.workload import (
@@ -72,12 +83,17 @@ __all__ = [
     "POLICY_QUORUM",
     "AnalysisScheduler",
     "AnalysisState",
+    "CadenceController",
+    "CadencePolicy",
     "CollectionGroup",
     "DistributedEngine",
     "DistributedResult",
     "EngineResult",
+    "ExecutionDriver",
+    "Executor",
     "GroupPlan",
     "InSituEngine",
+    "LocalExecutor",
     "LuleshApp",
     "MultiprocessExecutor",
     "RankCollector",

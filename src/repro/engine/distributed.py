@@ -49,7 +49,7 @@ import pickle
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Protocol, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -58,96 +58,47 @@ from repro.core.collector import SeriesStore
 from repro.core.curve_fitting import Analysis
 from repro.core.params import IterParam
 from repro.core.providers import ShardView
-from repro.engine.collection import CollectionGroup, SharedCollector
+from repro.engine.cadence import as_cadence_controller
+from repro.engine.driver import (
+    EngineResult,
+    ExecutionDriver,
+    Executor,
+    GroupPlan,
+    plan_groups,
+)
 from repro.engine.scheduler import (
     POLICY_ANY,
     AnalysisScheduler,
-    EngineResult,
 )
 from repro.engine.workload import SimulationApp, as_simulation_app
 from repro.errors import (
-    CollectionError,
     CommunicatorError,
     ConfigurationError,
 )
 from repro.parallel.comm import SimComm
-from repro.parallel.decomposition import BlockDecomposition
 
 #: Execution backend names.
 BACKEND_SIMCOMM = "simcomm"
 BACKEND_MULTIPROCESSING = "multiprocessing"
 BACKENDS = (BACKEND_SIMCOMM, BACKEND_MULTIPROCESSING)
 
+#: Back-compat alias: the executor seam now lives in
+#: :mod:`repro.engine.driver` and is shared with the serial engine.
+RankExecutor = Executor
 
-# ----------------------------------------------------------------------
-# shard planning
-# ----------------------------------------------------------------------
-
-
-@dataclass
-class GroupPlan:
-    """Shard plan of one collection group across the communicator.
-
-    ``shards[r]`` holds the domain location ids rank ``r`` owns — a
-    contiguous block of the group's (ascending) spatial window, so the
-    concatenation of the shard rows in rank order *is* the full-window
-    row.  Ranks past the window width own empty shards.
-    """
-
-    index: int
-    group: CollectionGroup
-    decomposition: BlockDecomposition
-    shards: List[np.ndarray]
-
-    @property
-    def locations(self) -> np.ndarray:
-        return self.group.locations
-
-    @property
-    def temporal(self) -> IterParam:
-        return self.group.temporal
-
-    @property
-    def provider(self):
-        return self.group.provider
-
-    @property
-    def store(self) -> SeriesStore:
-        return self.group.store
-
-    @property
-    def width(self) -> int:
-        return int(self.group.locations.shape[0])
-
-    def owner_of_location(self, location: int) -> int:
-        """Rank owning ``location`` (clipped to the window's edge ranks).
-
-        Locations outside the window map to the nearest window edge —
-        the paper's wavefront-rank broadcasts need an owner even when
-        the front has run past the collected window.
-        """
-        locs = self.group.locations
-        position = int(np.searchsorted(locs, int(location)))
-        position = min(max(position, 0), locs.shape[0] - 1)
-        return self.decomposition.owner(position)
-
-
-def plan_groups(shared: SharedCollector, n_ranks: int) -> List[GroupPlan]:
-    """Block-decompose every collection group's window over ``n_ranks``."""
-    if n_ranks <= 0:
-        raise ConfigurationError(f"n_ranks must be positive, got {n_ranks}")
-    plans = []
-    for index, group in enumerate(shared.groups):
-        locations = group.locations
-        decomposition = BlockDecomposition(
-            int(locations.shape[0]), n_ranks
-        )
-        shards = [
-            locations[decomposition.slice_for(rank)]
-            for rank in range(n_ranks)
-        ]
-        plans.append(GroupPlan(index, group, decomposition, shards))
-    return plans
+__all__ = [
+    "BACKENDS",
+    "BACKEND_MULTIPROCESSING",
+    "BACKEND_SIMCOMM",
+    "DistributedEngine",
+    "DistributedResult",
+    "GroupPlan",
+    "MultiprocessExecutor",
+    "RankCollector",
+    "RankExecutor",
+    "SimCommExecutor",
+    "plan_groups",
+]
 
 
 class RankCollector:
@@ -187,33 +138,6 @@ class RankCollector:
 # ----------------------------------------------------------------------
 # execution backends
 # ----------------------------------------------------------------------
-
-
-class RankExecutor(Protocol):
-    """Protocol both execution backends implement.
-
-    ``advance`` steps the engine-visible simulation by one iteration
-    and returns the assembled full-width row of every group it sampled
-    (a superset of what the engine will consume is allowed — the
-    multiprocessing backend freezes the active set per chunk).
-    ``reduce_stats`` folds the per-rank collection partials into one
-    aggregate per group, in rank order.
-    """
-
-    n_ranks: int
-    last_step_seconds: float
-
-    def start(self) -> None: ...
-
-    def advance(
-        self, iteration: int, active: Sequence[int]
-    ) -> Dict[int, np.ndarray]: ...
-
-    def reduce_stats(self) -> List[RunningStats]: ...
-
-    def rank_sample_seconds(self) -> np.ndarray: ...
-
-    def close(self) -> None: ...
 
 
 class SimCommExecutor:
@@ -621,6 +545,11 @@ class DistributedResult(EngineResult):
 class DistributedEngine:
     """Drives N in-situ analyses over one simulation, sharded over ranks.
 
+    A thin façade over :class:`~repro.engine.driver.ExecutionDriver`:
+    the main loop and base result assembly are shared with the serial
+    engine; this class contributes backend validation, the shard-aware
+    executors and the rank dimension of the result.
+
     Results are bit-identical to the serial
     :class:`~repro.engine.scheduler.InSituEngine` on the same scenario:
     the assembled full-width rows equal the serial provider sweeps, so
@@ -647,8 +576,11 @@ class DistributedEngine:
     app_factory:
         Zero-argument callable building a fresh deterministic replica
         of the simulation.  Required by the multiprocessing backend.
-    policy, quorum, record_timings, name:
-        As for :class:`~repro.engine.scheduler.InSituEngine`.
+    policy, quorum, record_timings, cadence, name:
+        As for :class:`~repro.engine.scheduler.InSituEngine`.  Adaptive
+        cadence is supported on the ``simcomm`` backend only: the
+        multiprocessing backend prefetches worker chunks against a
+        frozen active set, which an adaptive stride would invalidate.
     chunk:
         Multiprocessing only: iterations per worker round trip.
     """
@@ -664,12 +596,19 @@ class DistributedEngine:
         policy: str = POLICY_ANY,
         quorum: Optional[Union[int, float]] = None,
         record_timings: bool = False,
+        cadence=None,
         chunk: int = 8,
         name: str = "distributed-engine",
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if cadence is not None and backend == BACKEND_MULTIPROCESSING:
+            raise ConfigurationError(
+                "adaptive cadence is not supported on the multiprocessing "
+                "backend (worker chunks prefetch against a frozen active "
+                "set); use the simcomm backend or a serial engine"
             )
         self.backend = backend
         self.name = name
@@ -724,12 +663,26 @@ class DistributedEngine:
             record_timings=record_timings,
             stop_reducer=stop_reducer,
         )
-        self.iteration = 0
-        self._step_timings: List[float] = []
-        self._stepped = 0.0
         self._ran = False
-        self._plans: Optional[List[GroupPlan]] = None
-        self._last_executor: Optional[RankExecutor] = None
+        self.driver = ExecutionDriver(
+            self.app,
+            self.scheduler,
+            make_executor=self._make_executor,
+            n_ranks=self.n_ranks,
+            record_timings=record_timings,
+            # The rank shards (and the simcomm executor's shard stores)
+            # must span resumed runs, so plans are built once and late
+            # analysis attachments are rejected by the driver.
+            replan_each_run=False,
+            # The simcomm executor carries the rank-local shard stores
+            # and partials, which must span resumed runs; it is created
+            # once and reused.  Multiprocessing executors are per-run
+            # (resume is rejected in run()).
+            reuse_executor=(backend == BACKEND_SIMCOMM),
+            on_plans=self._wire_wavefront_ranks,
+            cadence=as_cadence_controller(cadence),
+            finalize_result=self._finalize_result,
+        )
 
     def add_analysis(self, analysis: Analysis) -> Analysis:
         """Attach an analysis; returns it for chaining."""
@@ -748,9 +701,14 @@ class DistributedEngine:
         return self.scheduler.stop_requested
 
     @property
-    def executor(self) -> Optional[RankExecutor]:
+    def iteration(self) -> int:
+        """Absolute iteration count across (possibly resumed) runs."""
+        return self.driver.iteration
+
+    @property
+    def executor(self) -> Optional[Executor]:
         """The executor of the most recent run (simcomm keeps shard state)."""
-        return self._last_executor
+        return self.driver.executor
 
     # ------------------------------------------------------------------
 
@@ -768,7 +726,7 @@ class DistributedEngine:
 
     def _make_executor(
         self, plans: Sequence[GroupPlan], limit: int
-    ) -> RankExecutor:
+    ) -> Executor:
         if self.backend == BACKEND_SIMCOMM:
             return SimCommExecutor(self.app, plans, self.comm)
         return MultiprocessExecutor(
@@ -780,100 +738,12 @@ class DistributedEngine:
             chunk=self.chunk,
         )
 
-    def run(self, *, max_iterations: Optional[int] = None) -> DistributedResult:
-        """Run until done / collective termination / the iteration limit."""
-        app = self.app
-        limit = app.max_iterations if max_iterations is None else max_iterations
-        if limit < 0:
-            raise ConfigurationError(
-                f"max_iterations must be >= 0, got {limit}"
-            )
-        if self.backend == BACKEND_MULTIPROCESSING and self._ran:
-            raise ConfigurationError(
-                "the multiprocessing backend cannot resume: worker replicas "
-                "restart from iteration 0 and would diverge from the parent"
-            )
-        self._ran = True
-        if self._plans is None:
-            self._plans = plan_groups(self.scheduler.shared, self.n_ranks)
-            self._wire_wavefront_ranks(self._plans)
-        elif self.scheduler.shared.n_groups != len(self._plans):
-            # The rank shards (and, for simcomm, the executor's shard
-            # stores) were planned on the first run; a new collection
-            # group would silently escape them.
-            raise ConfigurationError(
-                "analyses cannot be attached between distributed runs; "
-                "attach everything before the first run() or build a "
-                "fresh engine"
-            )
-        plans = self._plans
-        plan_states = [
-            [
-                state
-                for state in self.scheduler.states
-                if getattr(state.analysis, "collector", None)
-                in plan.group.collectors
-            ]
-            for plan in plans
-        ]
-        # The simcomm executor carries the rank-local shard stores and
-        # partials, which must span resumed runs; it is created once
-        # and reused.  Multiprocessing executors are per-run (resume is
-        # rejected above).
-        if (
-            self.backend == BACKEND_SIMCOMM
-            and self._last_executor is not None
-        ):
-            executor = self._last_executor
-        else:
-            executor = self._make_executor(plans, limit)
-            self._last_executor = executor
-        terminated = self.scheduler.stop_requested
-        start = time.perf_counter()
-        try:
-            executor.start()
-            while not terminated and not app.done and self.iteration < limit:
-                self.iteration += 1
-                active = [
-                    plan.index
-                    for plan, states in zip(plans, plan_states)
-                    if any(state.active for state in states)
-                ]
-                rows = executor.advance(self.iteration, active)
-                for g in active:
-                    row = rows.get(g)
-                    if row is None:
-                        continue
-                    if not np.all(np.isfinite(row)):
-                        raise CollectionError(
-                            "non-finite sample collected at iteration "
-                            f"{self.iteration}"
-                        )
-                    plans[g].store.add_row(self.iteration, row)
-                if self.record_timings:
-                    self._stepped += executor.last_step_seconds
-                    self._step_timings.append(self._stepped)
-                keep_going = self.scheduler.dispatch(
-                    app.domain, self.iteration
-                )
-                if not keep_going:
-                    terminated = True
-            collection_stats = executor.reduce_stats()
-            rank_seconds = executor.rank_sample_seconds()
-        finally:
-            executor.close()
+    def _finalize_result(self, base: dict, executor: Executor) -> "DistributedResult":
+        """Extend the driver's base result with the rank dimension."""
+        collection_stats = executor.reduce_stats()
+        rank_seconds = executor.rank_sample_seconds()
         return DistributedResult(
-            iterations=self.iteration,
-            terminated_early=terminated,
-            stopped_at=self.scheduler.stopped_at(),
-            summaries=self.scheduler.summaries(),
-            seconds=time.perf_counter() - start,
-            step_seconds=(
-                np.asarray(self._step_timings, dtype=np.float64)
-                if self.record_timings
-                else None
-            ),
-            analysis_seconds=self.scheduler.analysis_seconds(),
+            **base,
             n_ranks=self.n_ranks,
             backend=self.backend,
             comm_seconds=(
@@ -881,5 +751,17 @@ class DistributedEngine:
             ),
             rank_sample_seconds=rank_seconds,
             collection_stats=collection_stats,
-            group_locations=[plan.locations.copy() for plan in plans],
+            group_locations=[
+                plan.locations.copy() for plan in self.driver.plans
+            ],
         )
+
+    def run(self, *, max_iterations: Optional[int] = None) -> DistributedResult:
+        """Run until done / collective termination / the iteration limit."""
+        if self.backend == BACKEND_MULTIPROCESSING and self._ran:
+            raise ConfigurationError(
+                "the multiprocessing backend cannot resume: worker replicas "
+                "restart from iteration 0 and would diverge from the parent"
+            )
+        self._ran = True
+        return self.driver.run(max_iterations=max_iterations)

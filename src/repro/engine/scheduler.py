@@ -22,27 +22,40 @@ dispatched again, so its model/trainer state is bit-identical to an
 independent run that terminated the simulation at that iteration.
 
 :class:`InSituEngine` couples a scheduler with a
-:class:`~repro.engine.workload.SimulationApp` and runs the loop,
-optionally recording cumulative per-iteration wall time so a shared
-run can answer "how long would the run have taken had it stopped at
-iteration k" for every subscribed analysis.
+:class:`~repro.engine.workload.SimulationApp`.  It is a thin façade
+over the unified :class:`~repro.engine.driver.ExecutionDriver`: the
+main loop, the collection data path and the result assembly live in
+:mod:`repro.engine.driver`; this engine contributes the trivial
+one-rank :class:`~repro.engine.driver.LocalExecutor` and the serial
+defaults (replan per run, local stop decision).
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple, Union
-
-import numpy as np
 
 from repro.core.curve_fitting import Analysis
 from repro.core.events import ACTION_TERMINATE, StatusBroadcaster
 from repro.core.features import ExtractionSummary
+from repro.engine.cadence import as_cadence_controller
 from repro.engine.collection import SharedCollector
+from repro.engine.driver import EngineResult, ExecutionDriver, LocalExecutor
 from repro.engine.workload import SimulationApp, as_simulation_app
 from repro.errors import ConfigurationError
+
+__all__ = [
+    "POLICIES",
+    "POLICY_ALL",
+    "POLICY_ANY",
+    "POLICY_QUORUM",
+    "AnalysisScheduler",
+    "AnalysisState",
+    "EngineResult",
+    "InSituEngine",
+]
 
 #: Valid termination policies.
 POLICY_ANY = "any"
@@ -252,58 +265,13 @@ class AnalysisScheduler:
         return stopped >= self._required_stops()
 
 
-@dataclass
-class EngineResult:
-    """Outcome of one :meth:`InSituEngine.run`."""
-
-    iterations: int
-    terminated_early: bool
-    stopped_at: Dict[str, int] = field(default_factory=dict)
-    summaries: Dict[str, ExtractionSummary] = field(default_factory=dict)
-    seconds: float = 0.0
-    step_seconds: Optional[np.ndarray] = None
-    analysis_seconds: Dict[str, float] = field(default_factory=dict)
-
-    def seconds_at(self, iteration: int) -> float:
-        """Cumulative *simulation-step* wall time up to ``iteration``.
-
-        Needs the engine to have run with ``record_timings=True``.
-        """
-        if self.step_seconds is None:
-            raise ConfigurationError(
-                "per-iteration timings were not recorded; construct the "
-                "engine with record_timings=True"
-            )
-        if iteration <= 0 or self.step_seconds.size == 0:
-            return 0.0
-        index = min(int(iteration), self.step_seconds.size) - 1
-        return float(self.step_seconds[index])
-
-    def solo_seconds(self, name: str) -> float:
-        """Reconstructed cost of running ONE analysis to its stop point.
-
-        Simulation-step time up to the analysis's stop iteration (the
-        whole run, if it never stopped) plus that analysis's own
-        accumulated dispatch time — an estimate of what an independent
-        run with only this analysis attached would have cost, priced
-        from a single shared run.  Under shared collection the group's
-        provider-sweep cost lands on the first-dispatched subscriber
-        (see :class:`AnalysisScheduler`), so other subscribers'
-        estimates omit it; with per-iteration sweeps of a few float
-        reads this is far below timer noise.  Needs
-        ``record_timings=True``.
-        """
-        stop = self.stopped_at.get(name, self.iterations)
-        if name not in self.analysis_seconds:
-            raise ConfigurationError(
-                f"no analysis named {name!r} in this run "
-                f"(have {sorted(self.analysis_seconds)})"
-            )
-        return self.seconds_at(stop) + self.analysis_seconds[name]
-
-
 class InSituEngine:
     """Drives N in-situ analyses over one simulation application.
+
+    A thin façade over :class:`~repro.engine.driver.ExecutionDriver`
+    with the one-rank :class:`~repro.engine.driver.LocalExecutor`
+    plugged into the executor seam — the main loop and result assembly
+    are shared with the distributed engine.
 
     Parameters
     ----------
@@ -314,9 +282,13 @@ class InSituEngine:
     comm, policy, quorum:
         Forwarded to :class:`AnalysisScheduler`.
     record_timings:
-        Record cumulative simulation-step wall time per iteration and
+        Record per-iteration simulation-step durations and
         per-analysis dispatch time (enables
         :meth:`EngineResult.seconds_at` / :meth:`EngineResult.solo_seconds`).
+    cadence:
+        Optional :class:`~repro.engine.cadence.CadenceController`
+        enabling adaptive collection cadence.  Off by default — without
+        it results are bit-identical to full-cadence collection.
     name:
         Label for reports.
     """
@@ -329,6 +301,7 @@ class InSituEngine:
         policy: str = POLICY_ANY,
         quorum: Optional[Union[int, float]] = None,
         record_timings: bool = False,
+        cadence=None,
         name: str = "engine",
     ) -> None:
         self.app = as_simulation_app(app)
@@ -338,12 +311,18 @@ class InSituEngine:
             comm=comm, policy=policy, quorum=quorum,
             record_timings=record_timings,
         )
-        self.iteration = 0
-        # Cumulative per-iteration step timings persist across run()
-        # calls so a resumed run's EngineResult still indexes them by
-        # absolute iteration number.
-        self._step_timings: List[float] = []
-        self._stepped = 0.0
+        self.driver = ExecutionDriver(
+            self.app,
+            self.scheduler,
+            make_executor=lambda plans, limit: LocalExecutor(self.app, plans),
+            n_ranks=1,
+            record_timings=record_timings,
+            # Serial runs replan per run(), so analyses attached between
+            # resumed runs join the collection plane (shard state does
+            # not exist at one rank).
+            replan_each_run=True,
+            cadence=as_cadence_controller(cadence),
+        )
 
     def add_analysis(self, analysis: Analysis) -> Analysis:
         """Attach an analysis; returns it for chaining."""
@@ -362,46 +341,11 @@ class InSituEngine:
     def stop_requested(self) -> bool:
         return self.scheduler.stop_requested
 
-    def run(self, *, max_iterations: Optional[int] = None) -> EngineResult:
-        """Run the app until done / termination / the iteration limit.
+    @property
+    def iteration(self) -> int:
+        """Absolute iteration count across (possibly resumed) runs."""
+        return self.driver.iteration
 
-        The loop mirrors the paper's instrumented main loop: advance
-        the simulation one step, then give every active analysis its
-        in-situ look at the new state.
-        """
-        app = self.app
-        limit = app.max_iterations if max_iterations is None else max_iterations
-        if limit < 0:
-            raise ConfigurationError(
-                f"max_iterations must be >= 0, got {limit}"
-            )
-        # A latched stop from an earlier run() must not advance the
-        # simulation any further.
-        terminated = self.scheduler.stop_requested
-        start = time.perf_counter()
-        while not terminated and not app.done and self.iteration < limit:
-            self.iteration += 1
-            if self.record_timings:
-                tick = time.perf_counter()
-                app.step()
-                self._stepped += time.perf_counter() - tick
-                self._step_timings.append(self._stepped)
-            else:
-                app.step()
-            keep_going = self.scheduler.dispatch(app.domain, self.iteration)
-            if not keep_going:
-                terminated = True
-                break
-        return EngineResult(
-            iterations=self.iteration,
-            terminated_early=terminated,
-            stopped_at=self.scheduler.stopped_at(),
-            summaries=self.scheduler.summaries(),
-            seconds=time.perf_counter() - start,
-            step_seconds=(
-                np.asarray(self._step_timings, dtype=np.float64)
-                if self.record_timings
-                else None
-            ),
-            analysis_seconds=self.scheduler.analysis_seconds(),
-        )
+    def run(self, *, max_iterations: Optional[int] = None) -> EngineResult:
+        """Run the app until done / termination / the iteration limit."""
+        return self.driver.run(max_iterations=max_iterations)

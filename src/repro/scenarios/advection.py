@@ -213,5 +213,11 @@ register(
         },
         policy="all",
         tolerance=2.0,
+        # Full cadence only: the early-stop monitor converges well
+        # before the SGD fit actually recovers the exact shift
+        # relation, and resuming training across snap-back gaps on an
+        # increasingly saturated window corrupts the intercept — the
+        # closed-form validator catches both, so the spec opts out.
+        cadence=None,
     )
 )

@@ -202,5 +202,10 @@ register(
         },
         policy="all",
         tolerance=2.0,
+        # The discrete scheme IS an exact AR process per location, so a
+        # converged fit forecasts the decay to rounding: adaptive
+        # cadence widens aggressively and the drift probes stay clean
+        # until the signal has decayed into the std floor.
+        cadence={"probes_per_level": 1, "max_stride": 32},
     )
 )

@@ -131,5 +131,9 @@ register(
         # Table II's own accuracy bound: 5% threshold within 3 elements,
         # 10/20% exact.
         tolerance=3.0,
+        # Full cadence only: break-point confirmation samples the
+        # post-convergence peak profile every `check_every` collected
+        # rows, which a widened stride would starve.
+        cadence=None,
     )
 )

@@ -193,5 +193,14 @@ register(
         },
         policy="all",
         tolerance=5.0,
+        # Exact AR(2) per lag, but the chained forecast's phase error
+        # compounds over long widened horizons — a looser drift bound
+        # plus a warmed-up collected base keeps probe snap-backs from
+        # thrashing while the validator stays well inside tolerance.
+        cadence={
+            "drift_tolerance": 0.3,
+            "warmup_rows": 32,
+            "probes_per_level": 1,
+        },
     )
 )

@@ -47,11 +47,16 @@ from repro.engine import (
     BACKEND_SIMCOMM,
     BACKENDS,
     POLICIES,
+    CadenceController,
+    CadencePolicy,
     DistributedEngine,
     EngineResult,
     InSituEngine,
 )
-from repro.errors import ScenarioError
+from repro.errors import ConfigurationError, ScenarioError
+
+#: CadencePolicy field names a spec's ``cadence`` mapping may override.
+CADENCE_FIELDS = frozenset(CadencePolicy.__dataclass_fields__)
 
 #: Serial-vs-distributed agreement bound the cross-check enforces.
 DIVERGENCE_TOL = 1e-12
@@ -141,6 +146,13 @@ class ScenarioSpec:
         shipped to multiprocessing workers).
     tolerance:
         Bound on the validator's ``"error"`` metric, in percent.
+    cadence:
+        Adaptive-cadence support.  ``None`` (the default) means the
+        scenario must run at full cadence — e.g. its analyses extract
+        features from post-convergence samples that a widened stride
+        would skip.  A mapping (possibly empty) opts in and overrides
+        :class:`~repro.engine.cadence.CadencePolicy` fields with the
+        scenario's own tolerances.
     """
 
     name: str
@@ -156,6 +168,20 @@ class ScenarioSpec:
     quorum: Optional[Union[int, float]] = None
     backends: Tuple[str, ...] = (BACKEND_SIMCOMM, BACKEND_MULTIPROCESSING)
     tolerance: float = 5.0
+    cadence: Optional[Mapping[str, object]] = None
+
+    @property
+    def adaptive_supported(self) -> bool:
+        """True when the scenario opts into adaptive collection cadence."""
+        return self.cadence is not None
+
+    def cadence_controller(self) -> CadenceController:
+        """A fresh controller configured with the spec's tolerances."""
+        if self.cadence is None:
+            raise ScenarioError(
+                f"scenario {self.name!r} does not support adaptive cadence"
+            )
+        return CadenceController(CadencePolicy(**dict(self.cadence)))
 
     def params(
         self, *, quick: bool = False, overrides: Optional[Mapping] = None
@@ -184,6 +210,8 @@ class ScenarioSpec:
             "policy": self.policy,
             "backends": list(self.backends),
             "tolerance": self.tolerance,
+            "adaptive": self.adaptive_supported,
+            "cadence": dict(self.cadence) if self.cadence is not None else None,
             "defaults": {k: repr(v) for k, v in sorted(self.defaults.items())},
         }
 
@@ -238,6 +266,25 @@ def _validate_spec(spec: ScenarioSpec) -> None:
             f"scenario {spec.name!r}: tolerance must be a positive number, "
             f"got {spec.tolerance!r}"
         )
+    if spec.cadence is not None:
+        if not isinstance(spec.cadence, Mapping):
+            raise ScenarioError(
+                f"scenario {spec.name!r}: cadence must be a mapping of "
+                f"CadencePolicy overrides or None, got {spec.cadence!r}"
+            )
+        unknown = sorted(set(spec.cadence) - CADENCE_FIELDS)
+        if unknown:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: cadence names no policy "
+                f"field(s) {unknown} (valid: {sorted(CADENCE_FIELDS)})"
+            )
+        # Surface bad values at registration, not first --adaptive run.
+        try:
+            CadencePolicy(**dict(spec.cadence))
+        except ConfigurationError as exc:
+            raise ScenarioError(
+                f"scenario {spec.name!r}: invalid cadence overrides: {exc}"
+            ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -319,6 +366,7 @@ class ScenarioRun:
     tolerance: float
     seconds: float
     crosscheck: Optional[Dict[str, object]] = None
+    adaptive: bool = False
 
     @property
     def error(self) -> float:
@@ -350,6 +398,7 @@ class ScenarioRun:
             "ranks": self.n_ranks,
             "backend": self.backend,
             "quick": self.quick,
+            "adaptive": self.adaptive,
             "params": {k: repr(v) for k, v in sorted(self.params.items())},
             "iterations": self.result.iterations,
             "terminated_early": self.result.terminated_early,
@@ -357,6 +406,7 @@ class ScenarioRun:
             "metrics": {k: json_safe(v) for k, v in self.metrics.items()},
             "tolerance": self.tolerance,
             "seconds": self.seconds,
+            "cadence": self.result.cadence,
             "crosscheck": self.crosscheck,
             "ok": self.ok,
         }
@@ -413,6 +463,7 @@ def run_scenario(
     n_ranks: int = 1,
     backend: str = BACKEND_SIMCOMM,
     quick: bool = False,
+    adaptive: bool = False,
     params: Optional[Mapping] = None,
     crosscheck: Optional[bool] = None,
     max_iterations: Optional[int] = None,
@@ -422,10 +473,17 @@ def run_scenario(
     ``n_ranks == 1`` drives the serial
     :class:`~repro.engine.InSituEngine`; more ranks shard the scenario
     through :class:`~repro.engine.DistributedEngine` on ``backend``.
-    ``crosscheck`` (default: on for distributed runs) additionally runs
-    a fresh serial engine over a fresh app and reports the divergence
-    between the two fitted analysis sets — the CI smoke matrix fails a
-    scenario whose report exceeds :data:`DIVERGENCE_TOL`.
+    ``adaptive`` enables the spec's adaptive collection cadence
+    (``ScenarioSpec.cadence`` must opt in; simcomm/serial only) — the
+    run trades full-cadence sampling for model-verified forecasts, and
+    the validator bound still applies.  ``crosscheck`` (default: on
+    for distributed runs) additionally runs a fresh serial engine over
+    a fresh app and reports the divergence between the two fitted
+    analysis sets — the CI smoke matrix fails a scenario whose report
+    exceeds :data:`DIVERGENCE_TOL`.  The cross-check leg inherits
+    ``adaptive``, so an adaptive distributed run is compared against
+    an adaptive serial run (the cadence decisions are deterministic,
+    so agreement is still exact).
     """
     spec = get(name)
     backend = resolve_backend(backend)
@@ -436,13 +494,30 @@ def run_scenario(
             f"scenario {name!r} supports backends {spec.backends}, "
             f"not {backend!r}"
         )
+    if adaptive and not spec.adaptive_supported:
+        raise ScenarioError(
+            f"scenario {name!r} does not support adaptive cadence (its "
+            "analyses need full-cadence collection); scenarios opting in "
+            "declare ScenarioSpec.cadence"
+        )
+    if adaptive and n_ranks > 1 and backend == BACKEND_MULTIPROCESSING:
+        raise ScenarioError(
+            "adaptive cadence runs serial or on the simcomm backend; the "
+            "multiprocessing backend prefetches frozen worker chunks"
+        )
     merged = spec.params(quick=quick, overrides=params)
     if crosscheck is None:
         crosscheck = n_ranks > 1
 
     def _serial_leg():
         app = spec.app_factory(**merged)
-        engine = InSituEngine(app, policy=spec.policy, quorum=spec.quorum, name=name)
+        engine = InSituEngine(
+            app,
+            policy=spec.policy,
+            quorum=spec.quorum,
+            cadence=spec.cadence_controller() if adaptive else None,
+            name=name,
+        )
         analyses = [
             engine.add_analysis(a) for a in spec.analysis_factory(**merged)
         ]
@@ -471,6 +546,7 @@ def run_scenario(
                 n_ranks=n_ranks,
                 policy=spec.policy,
                 quorum=spec.quorum,
+                cadence=spec.cadence_controller() if adaptive else None,
                 name=name,
             )
         analyses = [
@@ -513,4 +589,5 @@ def run_scenario(
         tolerance=spec.tolerance,
         seconds=seconds,
         crosscheck=report,
+        adaptive=adaptive,
     )

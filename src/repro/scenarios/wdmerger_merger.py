@@ -111,5 +111,9 @@ register(
         policy="any",
         backends=("simcomm",),
         tolerance=15.0,
+        # Full cadence only: the detonation inflection is detected from
+        # the collected diagnostic's curvature, which needs every
+        # post-convergence sample.
+        cadence=None,
     )
 )

@@ -1,0 +1,116 @@
+"""Driver-parity matrix: the unified execution core vs pre-refactor goldens.
+
+``tests/data/golden_scenarios.json`` was captured from the pre-driver
+engines (separate serial/distributed main loops) running every
+registered scenario on its quick parameters.  The refactor's contract
+is that the unified :class:`~repro.engine.driver.ExecutionDriver`
+reproduces those numbers to <= 1e-12 — serial through the
+:class:`LocalExecutor` and sharded at 2 ranks through the simcomm
+backend — so the golden file pins the seed behaviour bit-for-bit.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import scenarios
+from repro.engine import (
+    ExecutionDriver,
+    InSituEngine,
+    LocalExecutor,
+)
+
+TOL = 1e-12
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "data", "golden_scenarios.json"
+)
+
+with open(GOLDEN_PATH) as _fh:
+    GOLDEN = json.load(_fh)
+
+
+def _assert_run_matches_golden(run, golden):
+    assert run.result.iterations == golden["iterations"]
+    assert run.result.terminated_early == golden["terminated_early"]
+    assert dict(run.result.stopped_at) == golden["stopped_at"]
+    assert len(run.analyses) == len(golden["analyses"])
+    compared = 0
+    for analysis, expected in zip(run.analyses, golden["analyses"]):
+        assert analysis.name == expected["name"]
+        if "coefficients" not in expected:
+            continue
+        compared += 1
+        coefficients = np.array(
+            [float(c) for c in expected["coefficients"]]
+        )
+        np.testing.assert_allclose(
+            analysis.model.coefficients, coefficients, rtol=0.0, atol=TOL
+        )
+        assert analysis.model.intercept == pytest.approx(
+            float(expected["intercept"]), abs=TOL
+        )
+        assert analysis.trainer.updates == expected["updates"]
+        assert (
+            analysis.collector.samples_emitted == expected["samples_emitted"]
+        )
+    assert compared > 0, "golden entry pinned no trained analyses"
+
+
+class TestGoldenParity:
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_serial_matches_pre_refactor_golden(self, name):
+        run = scenarios.run_scenario(name, quick=True)
+        _assert_run_matches_golden(run, GOLDEN[name])
+        error = GOLDEN[name]["error"]
+        if isinstance(error, float):
+            assert run.error == pytest.approx(error, abs=1e-9)
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_two_rank_matches_pre_refactor_golden(self, name):
+        run = scenarios.run_scenario(
+            name, n_ranks=2, quick=True, crosscheck=False
+        )
+        _assert_run_matches_golden(run, GOLDEN[name])
+
+    def test_golden_covers_every_registered_scenario(self):
+        assert set(GOLDEN) == set(scenarios.names())
+
+
+class TestDriverMechanics:
+    def test_serial_engine_is_a_driver_facade(self):
+        class _Tick:
+            def __init__(self):
+                self.t = 0
+
+            def step(self):
+                self.t += 1
+
+            @property
+            def domain(self):
+                return self
+
+            @property
+            def done(self):
+                return self.t >= 3
+
+            @property
+            def max_iterations(self):
+                return 3
+
+        engine = InSituEngine(_Tick())
+        assert isinstance(engine.driver, ExecutionDriver)
+        result = engine.run()
+        assert result.iterations == 3
+        assert isinstance(engine.driver.executor, LocalExecutor)
+        assert engine.driver.executor.n_ranks == 1
+        # Cadence is off by default: no report is attached.
+        assert result.cadence is None
+
+    def test_distributed_engine_shares_the_driver(self):
+        from repro.engine import DistributedEngine, ReplayApp
+
+        engine = DistributedEngine(ReplayApp(np.ones((4, 3))), n_ranks=2)
+        assert isinstance(engine.driver, ExecutionDriver)
+        assert engine.driver.n_ranks == 2

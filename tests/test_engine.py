@@ -431,13 +431,24 @@ class TestTimings:
         with pytest.raises(ConfigurationError):
             result.seconds_at(2)
 
-    def test_recorded_timings_are_monotone(self):
+    def test_recorded_timings_are_per_iteration_durations(self):
         engine = InSituEngine(_TickApp(10), record_timings=True)
         engine.add_analysis(_StubAnalysis("a", stop_at=None))
         result = engine.run()
         assert result.step_seconds is not None
         assert result.step_seconds.size == 10
-        assert np.all(np.diff(result.step_seconds) >= 0)
+        # Regression: step_seconds used to accumulate a running sum, so
+        # seconds_at(n) returned the last cumulative entry while the
+        # array itself summed to far more.  Entries are now per-iteration
+        # durations whose prefix sums back seconds_at.
+        assert np.all(result.step_seconds >= 0)
+        assert result.seconds_at(10) == pytest.approx(
+            float(result.step_seconds.sum())
+        )
+        assert result.seconds_at(4) == pytest.approx(
+            float(result.step_seconds[:4].sum())
+        )
+        assert result.seconds_at(0) == 0.0
         assert result.solo_seconds("a") >= result.seconds_at(10)
 
     def test_unknown_analysis_name_rejected(self):
@@ -456,7 +467,9 @@ class TestTimings:
         # absolute iterations too, covering both run() calls.
         assert result.stopped_at == {"a": 25}
         assert result.step_seconds.size == 25
-        assert result.seconds_at(25) == result.step_seconds[-1]
+        assert result.seconds_at(25) == pytest.approx(
+            float(result.step_seconds.sum())
+        )
 
 
 class TestDoubleObserve:
