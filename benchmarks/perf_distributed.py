@@ -27,8 +27,8 @@ Every distributed run's fit coefficients are asserted against the
 serial engine within 1e-12, so all reported numbers are for *identical*
 results.  Run directly::
 
-    python benchmarks/perf_distributed.py [--quick] \
-        [--ranks 4,8] [--output BENCH_distributed.json]
+    python benchmarks/perf_distributed.py [--quick] [--ranks 4,8] \
+        [--transport auto|shm|pickle] [--output BENCH_distributed.json]
 
 ``--quick`` trims the scenario for CI smoke runs.  Not collected by
 pytest (the module is not named ``test_*``) — this is a timing script,
@@ -87,8 +87,27 @@ def _coefficient_delta(a: CurveFitting, b: CurveFitting) -> float:
     )
 
 
+def _round_transport_stats(stats):
+    """Transport ledger with human-scale rounding for the JSON report."""
+    if stats is None:
+        return None
+    return {
+        "transport": stats["transport"],
+        "total_bytes_moved": int(stats["total_bytes_moved"]),
+        "per_rank": [
+            {
+                "rank": row["rank"],
+                "bytes_moved": int(row["bytes_moved"]),
+                "serialize_seconds": round(float(row["serialize_seconds"]), 6),
+                "transfer_seconds": round(float(row["transfer_seconds"]), 6),
+            }
+            for row in stats["per_rank"]
+        ],
+    }
+
+
 def run_scenario(*, n_locations, n_iterations, simcomm_ranks, mp_ranks,
-                 mp_chunk=16, seed=7):
+                 mp_chunk=16, seed=7, transport="auto"):
     factory = partial(make_app, n_iterations, n_locations, seed)
 
     serial_engine = InSituEngine(factory())
@@ -132,6 +151,7 @@ def run_scenario(*, n_locations, n_iterations, simcomm_ranks, mp_ranks,
             n_ranks=ranks,
             app_factory=factory,
             chunk=mp_chunk,
+            transport=transport,
         )
         analysis = engine.add_analysis(_analysis(n_locations, n_iterations))
         result = engine.run()
@@ -146,6 +166,10 @@ def run_scenario(*, n_locations, n_iterations, simcomm_ranks, mp_ranks,
                 "ranks": ranks,
                 "seconds": round(result.seconds, 4),
                 "speedup": round(serial.seconds / result.seconds, 2),
+                "transport": result.transport,
+                "transport_stats": _round_transport_stats(
+                    result.transport_stats
+                ),
                 "max_coefficient_delta": delta,
             }
         )
@@ -177,6 +201,13 @@ def main(argv=None) -> int:
         help="where to write the JSON results",
     )
     parser.add_argument(
+        "--transport",
+        default="auto",
+        choices=["auto", "shared_memory", "shm", "pickle"],
+        help="multiprocessing row transport (shm = shared_memory; auto "
+        "picks shared_memory when available, else pickle)",
+    )
+    parser.add_argument(
         "--min-speedup",
         type=float,
         default=0.0,
@@ -196,8 +227,17 @@ def main(argv=None) -> int:
         spec = dict(n_locations=768, n_iterations=200)
 
     cpu_count = os.cpu_count() or 1
+    cpu_limited = cpu_count < max(mp_ranks, default=1)
+    if cpu_limited:
+        print(
+            f"WARNING: {cpu_count} cpu(s) visible but up to "
+            f"{max(mp_ranks)} ranks requested — multiprocessing wall-clock "
+            "numbers below measure core contention, not transport speedup; "
+            "the JSON is flagged cpu_limited"
+        )
     result = run_scenario(
-        simcomm_ranks=simcomm_ranks, mp_ranks=mp_ranks, **spec
+        simcomm_ranks=simcomm_ranks, mp_ranks=mp_ranks,
+        transport=args.transport, **spec
     )
 
     print(
@@ -213,21 +253,33 @@ def main(argv=None) -> int:
             f"{row['simulated_sample_speedup']:.2f}x"
         )
     for row in result["multiprocessing"]:
+        stats = row["transport_stats"]
+        moved = stats["total_bytes_moved"] if stats else 0
+        worker_rows = [r for r in stats["per_rank"] if r["rank"] > 0] if stats else []
+        serialize = sum(r["serialize_seconds"] for r in worker_rows)
+        transfer = sum(r["transfer_seconds"] for r in worker_rows)
         print(
             f"mp       ranks={row['ranks']:>2}  wall {row['seconds']:.3f}s  "
-            f"speedup {row['speedup']:.2f}x"
+            f"speedup {row['speedup']:.2f}x  transport={row['transport']}  "
+            f"moved {moved / 1e6:.1f}MB  serialize {serialize:.4f}s  "
+            f"transfer {transfer:.4f}s"
         )
     best = max((r["speedup"] for r in result["multiprocessing"]), default=0.0)
-    if cpu_count < max(mp_ranks, default=1) + 1:
+    if cpu_limited:
         print(
             f"note: only {cpu_count} cpu(s) visible — multiprocessing "
             "wall-clock speedup needs one core per rank; the simcomm rows "
             "carry the modelled scaling"
         )
 
+    mp_transports = {r["transport"] for r in result["multiprocessing"]}
     payload = {
         "quick": args.quick,
         "cpu_count": cpu_count,
+        "cpu_limited": cpu_limited,
+        # the resolved transport the mp rows actually ran on, not the
+        # raw flag (--transport auto/shm resolve at engine start)
+        "transport": mp_transports.pop() if len(mp_transports) == 1 else args.transport,
         "results": result,
     }
     with open(args.output, "w") as fh:

@@ -100,6 +100,7 @@ def _cmd_run(args) -> int:
         args.scenario,
         n_ranks=args.ranks,
         backend=args.backend,
+        transport=args.transport,
         quick=args.quick,
         adaptive=args.adaptive,
         params=_parse_params(args.param),
@@ -110,6 +111,8 @@ def _cmd_run(args) -> int:
         mode = "serial"
     else:
         mode = f"{run.n_ranks} ranks ({run.backend})"
+        if run.result.transport is not None:
+            mode += f", transport={run.result.transport}"
     if run.adaptive:
         mode += " + adaptive cadence"
     print(f"scenario  : {run.name}{' [quick]' if run.quick else ''}")
@@ -161,8 +164,10 @@ def _cmd_bench(args) -> int:
     from repro.experiments.common import Table
 
     names = args.scenarios or scenarios.names()
+    backend = scenarios.resolve_backend(args.backend)
     table = Table(
-        title=f"Scenario bench (quick={args.quick}, ranks={args.ranks})",
+        title=f"Scenario bench (quick={args.quick}, ranks={args.ranks}, "
+        f"backend={backend})",
         headers=[
             "Scenario",
             "Iterations",
@@ -178,15 +183,19 @@ def _cmd_bench(args) -> int:
     for name in names:
         serial = scenarios.run_scenario(name, quick=args.quick)
         spec = scenarios.get(name)
-        if args.ranks > 1 and "simcomm" in spec.backends:
+        transport = None
+        if args.ranks > 1 and backend in spec.backends:
             dist = scenarios.run_scenario(
                 name,
                 n_ranks=args.ranks,
+                backend=backend,
+                transport=args.transport,
                 quick=args.quick,
                 crosscheck=True,
             )
             dist_seconds: Optional[float] = dist.seconds
             comm_seconds = getattr(dist.result, "comm_seconds", 0.0)
+            transport = dist.result.transport
             ok = serial.ok and dist.ok
         else:
             dist_seconds = None
@@ -209,6 +218,8 @@ def _cmd_bench(args) -> int:
                 "serial_seconds": serial.seconds,
                 "distributed_seconds": dist_seconds,
                 "comm_seconds": comm_seconds,
+                "backend": backend,
+                "transport": transport,
                 "error": scenarios.json_safe(serial.error),
                 "ok": ok,
             }
@@ -216,7 +227,11 @@ def _cmd_bench(args) -> int:
     print(table.render())
     if args.json:
         with open(args.json, "w") as fh:
-            json.dump({"ranks": args.ranks, "rows": rows}, fh, indent=2)
+            json.dump(
+                {"ranks": args.ranks, "backend": backend, "rows": rows},
+                fh,
+                indent=2,
+            )
         print(f"\nreport: {args.json}")
     return 0 if failures == 0 else 1
 
@@ -245,6 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="simcomm",
         choices=sorted(set(scenarios.spec.BACKEND_ALIASES)),
         help="distributed backend (mp = multiprocessing)",
+    )
+    p_run.add_argument(
+        "--transport",
+        default="auto",
+        choices=sorted(set(scenarios.spec.TRANSPORT_ALIASES)),
+        help="multiprocessing row transport (shm = shared_memory; "
+        "auto picks shared_memory when available, else pickle)",
     )
     p_run.add_argument(
         "--quick", action="store_true", help="use the spec's smoke parameters"
@@ -276,6 +298,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench = sub.add_parser("bench", help="time scenarios serial vs distributed")
     p_bench.add_argument("scenarios", nargs="*", help="scenario names (default: all)")
     p_bench.add_argument("--ranks", type=int, default=2, help="distributed rank count")
+    p_bench.add_argument(
+        "--backend",
+        default="simcomm",
+        choices=sorted(set(scenarios.spec.BACKEND_ALIASES)),
+        help="distributed backend for the parallel leg",
+    )
+    p_bench.add_argument(
+        "--transport",
+        default="auto",
+        choices=sorted(set(scenarios.spec.TRANSPORT_ALIASES)),
+        help="multiprocessing row transport (shm = shared_memory)",
+    )
     p_bench.add_argument("--quick", action="store_true")
     p_bench.add_argument("--json", metavar="PATH")
     p_bench.set_defaults(func=_cmd_bench)

@@ -63,6 +63,15 @@ from repro.engine.scheduler import (
     AnalysisState,
     InSituEngine,
 )
+from repro.engine.transport import (
+    TRANSPORT_ALIASES,
+    TRANSPORT_AUTO,
+    TRANSPORT_PICKLE,
+    TRANSPORT_SHARED_MEMORY,
+    TRANSPORTS,
+    resolve_transport,
+    shared_memory_available,
+)
 from repro.engine.workload import (
     LuleshApp,
     ReplayApp,
@@ -102,9 +111,16 @@ __all__ = [
     "SharedCollector",
     "SimCommExecutor",
     "SimulationApp",
+    "TRANSPORTS",
+    "TRANSPORT_ALIASES",
+    "TRANSPORT_AUTO",
+    "TRANSPORT_PICKLE",
+    "TRANSPORT_SHARED_MEMORY",
     "WdMergerApp",
     "as_simulation_app",
     "plan_groups",
     "register_adapter",
     "replay_provider",
+    "resolve_transport",
+    "shared_memory_available",
 ]

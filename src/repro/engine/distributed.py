@@ -41,6 +41,16 @@ Two execution backends ship behind the :class:`RankExecutor` protocol:
     and decides termination, then reduces the workers' partial
     statistics at shutdown.  Results match the serial engine because
     row assembly is a pure concatenation of shard gathers.
+
+    The worker→parent data path is pluggable (the ``transport=`` knob,
+    see :mod:`repro.engine.transport`): ``"shared_memory"`` moves raw
+    float64 records through per-worker shared-memory ring buffers (a
+    row transfer is a memcpy) with the pipe reduced to chunk
+    advance/ack control traffic, while ``"pickle"`` is the legacy
+    pickled-payload pipe, kept as the automatic fallback where shared
+    memory is unavailable.  Both transports count bytes moved and
+    serialization/transfer seconds into
+    ``DistributedResult.transport_stats``.
 """
 
 from __future__ import annotations
@@ -69,6 +79,17 @@ from repro.engine.driver import (
 from repro.engine.scheduler import (
     POLICY_ANY,
     AnalysisScheduler,
+)
+from repro.engine.transport import (
+    TRANSPORT_AUTO,
+    TRANSPORT_SHARED_MEMORY,
+    PickleRowReceiver,
+    PickleRowSender,
+    ShmRing,
+    ShmRowReceiver,
+    ShmRowSender,
+    resolve_transport,
+    ring_capacity_for,
 )
 from repro.engine.workload import SimulationApp, as_simulation_app
 from repro.errors import (
@@ -150,6 +171,9 @@ class SimCommExecutor:
     charged byte-accurately to the communicator ledger.
     """
 
+    #: In-process backend: rows move by assignment, nothing is wired.
+    transport_name = None
+
     def __init__(
         self, app: SimulationApp, plans: Sequence[GroupPlan], comm: SimComm
     ) -> None:
@@ -214,6 +238,10 @@ class SimCommExecutor:
             [rank.sample_seconds for rank in self.ranks], dtype=np.float64
         )
 
+    def transport_stats(self) -> None:
+        """No wire: modelled communication lives in the comm ledger."""
+        return None
+
     def close(self) -> None:
         pass
 
@@ -235,6 +263,8 @@ class _WorkerTask:
     app_factory: Callable[[], object]
     groups: List[_WorkerGroupSpec]
     max_iterations: int
+    transport: str = TRANSPORT_AUTO
+    ring_name: Optional[str] = None
 
 
 def _shard_worker(conn, task: _WorkerTask) -> None:
@@ -242,17 +272,24 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
 
     Protocol (parent -> worker): ``("advance", n, active)`` requests up
     to ``n`` more iterations sampling the groups in ``active``;
-    ``("finish",)`` requests the sampling time and ends the loop.
-    Replies: ``("rows", [(iteration, [part-or-None per group]), ...])``
-    and ``("stats", sample_seconds)``.  Workers do *not* fold partial
-    statistics — chunked prefetch may sample iterations the parent
-    never consumes (a mid-chunk stop), so the parent folds each rank's
-    partial from the shard parts it actually uses.
+    ``("finish",)`` requests the worker's timing/byte counters and ends
+    the loop.  Replies: one ``("rows", ...)`` acknowledgement per chunk
+    — carrying the pickled payload on the pickle transport, or just the
+    ring record count on the shared-memory transport, where the rows
+    themselves travel through the worker's ring buffer — and a final
+    ``("stats", {...})``.  Workers do *not* fold partial statistics —
+    chunked prefetch may sample iterations the parent never consumes
+    (a mid-chunk stop), so the parent folds each rank's partial from
+    the shard parts it actually uses.
     """
     app = as_simulation_app(task.app_factory())
     views = [
         ShardView(spec.provider, spec.locations) for spec in task.groups
     ]
+    if task.transport == TRANSPORT_SHARED_MEMORY:
+        sender = ShmRowSender(ShmRing.attach(task.ring_name))
+    else:
+        sender = PickleRowSender()
     sample_seconds = 0.0
     iteration = 0
     try:
@@ -276,9 +313,19 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
                         else:
                             parts.append(None)
                     payload.append((iteration, parts))
-                conn.send(("rows", payload))
+                sender.send(conn, payload)
             elif message[0] == "finish":
-                conn.send(("stats", sample_seconds))
+                conn.send(
+                    (
+                        "stats",
+                        {
+                            "sample_seconds": sample_seconds,
+                            "serialize_seconds": sender.counters.seconds,
+                            "bytes_moved": sender.counters.bytes_moved,
+                            "records": sender.counters.records,
+                        },
+                    )
+                )
                 return
             else:  # pragma: no cover - protocol misuse
                 raise CommunicatorError(
@@ -287,6 +334,7 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         pass
     finally:
+        sender.close()
         conn.close()
 
 
@@ -296,11 +344,16 @@ class MultiprocessExecutor:
     Rank 0 is the parent: it steps the engine-visible app (so analyses
     can read the live domain), samples its own shard, and assembles
     full rows by concatenating the shard parts streamed back from
-    worker ranks 1..R-1 over pipes.  Worker requests are chunked
-    (``chunk`` iterations per round trip) to amortize IPC; the active
-    group set is frozen per chunk, which only ever *over*-collects —
-    the engine consumes rows by its own per-iteration active set, so
-    results are unaffected.
+    worker ranks 1..R-1.  Worker requests are chunked (``chunk``
+    iterations per round trip) to amortize IPC; the active group set is
+    frozen per chunk, which only ever *over*-collects — the engine
+    consumes rows by its own per-iteration active set, so results are
+    unaffected.
+
+    ``transport`` selects the shard-row data path: ``"shared_memory"``
+    (per-worker ring buffers of binary records, the pipe carries only
+    control traffic), ``"pickle"`` (the legacy pickled-payload pipe),
+    or ``"auto"`` (shared memory when available, pickle otherwise).
     """
 
     def __init__(
@@ -312,6 +365,7 @@ class MultiprocessExecutor:
         app_factory: Callable[[], object],
         max_iterations: int,
         chunk: int = 8,
+        transport: str = TRANSPORT_AUTO,
     ) -> None:
         if chunk <= 0:
             raise ConfigurationError(f"chunk must be positive, got {chunk}")
@@ -321,6 +375,7 @@ class MultiprocessExecutor:
         self.app_factory = app_factory
         self.max_iterations = max_iterations
         self.chunk = chunk
+        self.transport_name = resolve_transport(transport)
         self.last_step_seconds = 0.0
         self._views0 = [
             ShardView(plan.provider, plan.shards[0]) for plan in self.plans
@@ -337,7 +392,10 @@ class MultiprocessExecutor:
         self._chunk_active: tuple = ()
         self._processes: list = []
         self._conns: list = []
-        self._worker_seconds: Optional[List[float]] = None
+        self._rings: List[ShmRing] = []
+        self._receivers: list = []
+        self._ring_names: List[str] = []
+        self._worker_stats: Optional[List[dict]] = None
 
     def start(self) -> None:
         import multiprocessing
@@ -350,33 +408,51 @@ class MultiprocessExecutor:
             else "spawn"
         )
         ctx = multiprocessing.get_context(method)
-        tasks = [
-            _WorkerTask(
-                rank=rank,
-                app_factory=self.app_factory,
-                groups=[
-                    _WorkerGroupSpec(
-                        provider=plan.provider,
-                        locations=plan.shards[rank],
-                        temporal=plan.temporal,
-                    )
-                    for plan in self.plans
-                ],
-                max_iterations=self.max_iterations,
+        use_shm = self.transport_name == TRANSPORT_SHARED_MEMORY
+        tasks = []
+        for rank in range(1, self.n_ranks):
+            ring = None
+            if use_shm:
+                widths = [
+                    int(plan.shards[rank].shape[0]) for plan in self.plans
+                ]
+                ring = ShmRing.create(ring_capacity_for(widths, self.chunk))
+                self._rings.append(ring)
+                self._ring_names.append(ring.name)
+            tasks.append(
+                _WorkerTask(
+                    rank=rank,
+                    app_factory=self.app_factory,
+                    groups=[
+                        _WorkerGroupSpec(
+                            provider=plan.provider,
+                            locations=plan.shards[rank],
+                            temporal=plan.temporal,
+                        )
+                        for plan in self.plans
+                    ],
+                    max_iterations=self.max_iterations,
+                    transport=self.transport_name,
+                    ring_name=None if ring is None else ring.name,
+                )
             )
-            for rank in range(1, self.n_ranks)
-        ]
-        for task in tasks:
-            try:
-                pickle.dumps(task)
-            except Exception as exc:
-                raise ConfigurationError(
-                    "the multiprocessing backend ships the app factory and "
-                    "providers to worker ranks, so both must be picklable "
-                    "(module-level callables, functools.partial of classes); "
-                    f"pickling rank {task.rank}'s task failed: {exc}"
-                ) from exc
-        for task in tasks:
+        try:
+            for task in tasks:
+                try:
+                    pickle.dumps(task)
+                except Exception as exc:
+                    raise ConfigurationError(
+                        "the multiprocessing backend ships the app factory "
+                        "and providers to worker ranks, so both must be "
+                        "picklable (module-level callables, functools."
+                        "partial of classes); pickling rank "
+                        f"{task.rank}'s task failed: {exc}"
+                    ) from exc
+        except ConfigurationError:
+            self.close()
+            raise
+        n_groups = len(self.plans)
+        for index, task in enumerate(tasks):
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
                 target=_shard_worker, args=(child_conn, task), daemon=True
@@ -385,15 +461,44 @@ class MultiprocessExecutor:
             child_conn.close()
             self._processes.append(process)
             self._conns.append(parent_conn)
+            if use_shm:
+                self._receivers.append(
+                    ShmRowReceiver(self._rings[index], n_groups)
+                )
+            else:
+                self._receivers.append(PickleRowReceiver(n_groups))
 
-    def _recv(self, conn, expected: str):
+    def _died(self, index: int) -> CommunicatorError:
+        process = self._processes[index]
+        exitcode = process.exitcode
+        return CommunicatorError(
+            f"worker rank {index + 1} died mid-run "
+            f"(exit code {exitcode}); its replica, a provider, or the "
+            "process itself failed — any traceback is on stderr"
+        )
+
+    def _post(self, index: int, message) -> None:
         try:
+            self._conns[index].send(message)
+        except (BrokenPipeError, OSError) as exc:
+            raise self._died(index) from exc
+
+    def _recv(self, index: int, expected: str):
+        process = self._processes[index]
+        conn = self._conns[index]
+        try:
+            # Poll so a killed worker surfaces as a clean error instead
+            # of the parent blocking forever on a half-closed pipe.
+            while not conn.poll(0.2):
+                if not process.is_alive():
+                    # One last poll: the worker may have replied and
+                    # exited between the poll and the liveness check.
+                    if conn.poll(0):
+                        break
+                    raise self._died(index)
             reply = conn.recv()
-        except EOFError as exc:
-            raise CommunicatorError(
-                "a worker rank died before replying (its traceback is on "
-                "stderr); the simulation replica or a provider likely raised"
-            ) from exc
+        except (EOFError, ConnectionResetError) as exc:
+            raise self._died(index) from exc
         if reply[0] != expected:
             raise CommunicatorError(
                 f"worker protocol desync: expected {expected!r}, "
@@ -403,9 +508,12 @@ class MultiprocessExecutor:
 
     def _prefetch(self, active: Sequence[int]) -> None:
         frozen = tuple(sorted(active))
-        for conn in self._conns:
-            conn.send(("advance", self.chunk, frozen))
-        payloads = [self._recv(conn, "rows")[1] for conn in self._conns]
+        for index in range(len(self._conns)):
+            self._post(index, ("advance", self.chunk, frozen))
+        payloads = [
+            self._receivers[index].decode(self._recv(index, "rows"))
+            for index in range(len(self._conns))
+        ]
         lengths = {len(p) for p in payloads}
         if len(lengths) > 1:
             raise CommunicatorError(
@@ -469,15 +577,15 @@ class MultiprocessExecutor:
         return rows
 
     def _finish_workers(self) -> None:
-        if self._worker_seconds is not None or not self._conns:
-            if self._worker_seconds is None:
-                self._worker_seconds = []
+        if self._worker_stats is not None or not self._conns:
+            if self._worker_stats is None:
+                self._worker_stats = []
             return
-        seconds = []
-        for conn in self._conns:
-            conn.send(("finish",))
-            seconds.append(self._recv(conn, "stats")[1])
-        self._worker_seconds = seconds
+        stats = []
+        for index in range(len(self._conns)):
+            self._post(index, ("finish",))
+            stats.append(self._recv(index, "stats")[1])
+        self._worker_stats = stats
         for process in self._processes:
             process.join(timeout=10.0)
 
@@ -493,11 +601,57 @@ class MultiprocessExecutor:
     def rank_sample_seconds(self) -> np.ndarray:
         self._finish_workers()
         return np.array(
-            [self._rank0_seconds] + list(self._worker_seconds or []),
+            [self._rank0_seconds]
+            + [s["sample_seconds"] for s in self._worker_stats or []],
             dtype=np.float64,
         )
 
+    def transport_stats(self) -> Dict[str, object]:
+        """Per-rank serialization/transfer seconds and bytes moved.
+
+        Worker entries combine the worker-side counters (ring-write or
+        pickle time, bytes pushed) with the parent-side receiver
+        counters (ring-drain or unpickle time for that worker's rows).
+        Rank 0 samples in-process and moves nothing.
+        """
+        self._finish_workers()
+        per_rank = [
+            {
+                "rank": 0,
+                "bytes_moved": 0,
+                "serialize_seconds": 0.0,
+                "transfer_seconds": 0.0,
+            }
+        ]
+        for index, stats in enumerate(self._worker_stats or []):
+            receiver = self._receivers[index]
+            per_rank.append(
+                {
+                    "rank": index + 1,
+                    "bytes_moved": int(stats["bytes_moved"]),
+                    "serialize_seconds": float(stats["serialize_seconds"]),
+                    "transfer_seconds": float(receiver.counters.seconds),
+                }
+            )
+        return {
+            "transport": self.transport_name,
+            "per_rank": per_rank,
+            "total_bytes_moved": sum(r["bytes_moved"] for r in per_rank),
+        }
+
     def close(self) -> None:
+        """Tear everything down; idempotent and safe mid-failure.
+
+        Called by the driver's ``finally`` on every exit path, so a
+        :class:`CommunicatorError` or any parent-side exception still
+        terminates/joins worker processes and unlinks every
+        shared-memory segment — no orphaned daemons, no leaked
+        ``/dev/shm`` entries.
+        """
+        # Undelivered prefetched rows may be zero-copy views into the
+        # rings (a mid-chunk stop leaves some); drop them first or the
+        # exported buffers would keep the segments from unmapping.
+        self._buffer.clear()
         for conn in self._conns:
             try:
                 conn.close()
@@ -507,8 +661,18 @@ class MultiprocessExecutor:
             if process.is_alive():
                 process.terminate()
             process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck in a syscall
+                process.kill()
+                process.join(timeout=10.0)
+        for receiver in self._receivers:
+            receiver.close()
+        for ring in self._rings:
+            ring.close()
+            ring.unlink()
         self._processes = []
         self._conns = []
+        self._receivers = []
+        self._rings = []
 
 
 # ----------------------------------------------------------------------
@@ -583,6 +747,13 @@ class DistributedEngine:
         frozen active set, which an adaptive stride would invalidate.
     chunk:
         Multiprocessing only: iterations per worker round trip.
+    transport:
+        Multiprocessing only: the worker→parent shard-row data path —
+        ``"shared_memory"`` (per-worker ring buffers of raw float64
+        records; a row transfer is a memcpy), ``"pickle"`` (the legacy
+        pickled-payload pipe), or ``"auto"`` (the default: shared
+        memory when the platform supports it, pickle otherwise).  See
+        :mod:`repro.engine.transport`.
     """
 
     def __init__(
@@ -598,11 +769,18 @@ class DistributedEngine:
         record_timings: bool = False,
         cadence=None,
         chunk: int = 8,
+        transport: str = TRANSPORT_AUTO,
         name: str = "distributed-engine",
     ) -> None:
         if backend not in BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if backend == BACKEND_SIMCOMM and transport != TRANSPORT_AUTO:
+            raise ConfigurationError(
+                "transport selects the multiprocessing backend's shard-row "
+                "data path; the simcomm backend moves rows in-process and "
+                "takes no transport"
             )
         if cadence is not None and backend == BACKEND_MULTIPROCESSING:
             raise ConfigurationError(
@@ -614,6 +792,14 @@ class DistributedEngine:
         self.name = name
         self.record_timings = record_timings
         self.chunk = chunk
+        # Resolved eagerly so a bad name (or an explicit shared-memory
+        # request on a platform without it) fails at construction, and
+        # so results report the concrete transport, never "auto".
+        self.transport = (
+            resolve_transport(transport)
+            if backend == BACKEND_MULTIPROCESSING
+            else None
+        )
         self.app_factory = app_factory
         if app is None:
             if app_factory is None:
@@ -736,6 +922,7 @@ class DistributedEngine:
             app_factory=self.app_factory,
             max_iterations=limit,
             chunk=self.chunk,
+            transport=self.transport,
         )
 
     def _finalize_result(self, base: dict, executor: Executor) -> "DistributedResult":
@@ -746,6 +933,8 @@ class DistributedEngine:
             **base,
             n_ranks=self.n_ranks,
             backend=self.backend,
+            transport=getattr(executor, "transport_name", None),
+            transport_stats=executor.transport_stats(),
             comm_seconds=(
                 self.comm.charged_seconds if self.comm is not None else 0.0
             ),

@@ -223,6 +223,13 @@ class EngineResult:
     (not a running sum): entry ``k`` is how long iteration ``k + 1``'s
     ``app.step()`` took.  Cumulative cost up to an iteration comes from
     :meth:`seconds_at`.
+
+    ``transport`` / ``transport_stats`` describe the shard-row data
+    path when one exists (the multiprocessing backend's resolved
+    ``"shared_memory"``/``"pickle"`` transport with per-rank
+    serialization/transfer seconds and bytes moved; ``"simcomm"`` with
+    no stats for the modelled backend).  Serial runs move rows
+    in-process and leave both ``None``.
     """
 
     iterations: int
@@ -233,6 +240,8 @@ class EngineResult:
     step_seconds: Optional[np.ndarray] = None
     analysis_seconds: Dict[str, float] = field(default_factory=dict)
     cadence: Optional[Dict[str, object]] = None
+    transport: Optional[str] = None
+    transport_stats: Optional[Dict[str, object]] = None
 
     def seconds_at(self, iteration: int) -> float:
         """Cumulative *simulation-step* wall time up to ``iteration``.

@@ -28,6 +28,7 @@ from repro.scenarios.spec import (
     names,
     register,
     resolve_backend,
+    resolve_transport_name,
     run_scenario,
     specs,
     unregister,
@@ -52,6 +53,7 @@ __all__ = [
     "names",
     "register",
     "resolve_backend",
+    "resolve_transport_name",
     "run_scenario",
     "specs",
     "unregister",

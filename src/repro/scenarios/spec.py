@@ -47,6 +47,8 @@ from repro.engine import (
     BACKEND_SIMCOMM,
     BACKENDS,
     POLICIES,
+    TRANSPORT_ALIASES,
+    TRANSPORT_AUTO,
     CadenceController,
     CadencePolicy,
     DistributedEngine,
@@ -100,6 +102,23 @@ def resolve_backend(name: str) -> str:
             f"{sorted(set(BACKEND_ALIASES))}"
         )
     return backend
+
+
+def resolve_transport_name(name: str) -> str:
+    """Canonical transport name for ``name`` (accepts the ``shm`` alias).
+
+    Unlike :func:`repro.engine.resolve_transport` this does *not*
+    collapse ``"auto"`` to a concrete transport — the scenario layer
+    keeps the caller's intent so the runner can tell "explicitly asked
+    for shared_memory" apart from "take whatever works here".
+    """
+    transport = TRANSPORT_ALIASES.get(name)
+    if transport is None:
+        raise ScenarioError(
+            f"unknown transport {name!r}; expected one of "
+            f"{sorted(set(TRANSPORT_ALIASES))}"
+        )
+    return transport
 
 
 @dataclass(frozen=True)
@@ -397,6 +416,7 @@ class ScenarioRun:
             "scenario": self.name,
             "ranks": self.n_ranks,
             "backend": self.backend,
+            "transport": self.result.transport,
             "quick": self.quick,
             "adaptive": self.adaptive,
             "params": {k: repr(v) for k, v in sorted(self.params.items())},
@@ -462,6 +482,7 @@ def run_scenario(
     *,
     n_ranks: int = 1,
     backend: str = BACKEND_SIMCOMM,
+    transport: str = TRANSPORT_AUTO,
     quick: bool = False,
     adaptive: bool = False,
     params: Optional[Mapping] = None,
@@ -476,7 +497,11 @@ def run_scenario(
     ``adaptive`` enables the spec's adaptive collection cadence
     (``ScenarioSpec.cadence`` must opt in; simcomm/serial only) — the
     run trades full-cadence sampling for model-verified forecasts, and
-    the validator bound still applies.  ``crosscheck`` (default: on
+    the validator bound still applies.  ``transport`` picks the
+    multiprocessing row path (``"shared_memory"``/``"shm"``,
+    ``"pickle"`` or the default ``"auto"``); naming a concrete
+    transport with any other backend is an error — serial and simcomm
+    runs move no rows between processes.  ``crosscheck`` (default: on
     for distributed runs) additionally runs a fresh serial engine over
     a fresh app and reports the divergence between the two fitted
     analysis sets — the CI smoke matrix fails a scenario whose report
@@ -487,8 +512,17 @@ def run_scenario(
     """
     spec = get(name)
     backend = resolve_backend(backend)
+    transport = resolve_transport_name(transport)
     if n_ranks <= 0:
         raise ScenarioError(f"n_ranks must be positive, got {n_ranks}")
+    if transport != TRANSPORT_AUTO and (
+        n_ranks == 1 or backend != BACKEND_MULTIPROCESSING
+    ):
+        raise ScenarioError(
+            f"transport={transport!r} only applies to multiprocessing "
+            "runs (n_ranks > 1, backend='multiprocessing'); serial and "
+            "simcomm runs move no rows between processes"
+        )
     if n_ranks > 1 and backend not in spec.backends:
         raise ScenarioError(
             f"scenario {name!r} supports backends {spec.backends}, "
@@ -537,6 +571,7 @@ def run_scenario(
                 app_factory=functools.partial(spec.app_factory, **merged),
                 policy=spec.policy,
                 quorum=spec.quorum,
+                transport=transport,
                 name=name,
             )
         else:

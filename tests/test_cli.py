@@ -63,6 +63,43 @@ class TestRun:
         assert payload["ranks"] == 2
         assert payload["crosscheck"]["max_coefficient_delta"] <= 1e-12
 
+    def test_mp_run_reports_transport(self, capsys, tmp_path):
+        report = tmp_path / "run.json"
+        status = main(
+            [
+                "run",
+                "heat-diffusion",
+                "--quick",
+                "--ranks",
+                "2",
+                "--backend",
+                "mp",
+                "--transport",
+                "pickle",
+                "--json",
+                str(report),
+            ]
+        )
+        assert status == 0
+        assert "transport=pickle" in capsys.readouterr().out
+        payload = json.loads(report.read_text())
+        assert payload["transport"] == "pickle"
+
+    def test_transport_rejected_on_simcomm(self, capsys):
+        status = main(
+            [
+                "run",
+                "heat-diffusion",
+                "--quick",
+                "--ranks",
+                "2",
+                "--transport",
+                "pickle",
+            ]
+        )
+        assert status == 2
+        assert "transport" in capsys.readouterr().err
+
     def test_param_overrides_reach_the_scenario(self, capsys):
         status = main(
             [
@@ -111,8 +148,31 @@ class TestBench:
         assert "oscillator-ringdown" in out
         payload = json.loads(report.read_text())
         assert payload["ranks"] == 2
+        assert payload["backend"] == "simcomm"
         assert payload["rows"][0]["ok"] is True
         assert payload["rows"][0]["distributed_seconds"] is not None
+
+    def test_bench_mp_backend_records_transport(self, capsys, tmp_path):
+        report = tmp_path / "bench.json"
+        status = main(
+            [
+                "bench",
+                "heat-diffusion",
+                "--quick",
+                "--ranks",
+                "2",
+                "--backend",
+                "mp",
+                "--transport",
+                "pickle",
+                "--json",
+                str(report),
+            ]
+        )
+        assert status == 0
+        payload = json.loads(report.read_text())
+        assert payload["backend"] == "multiprocessing"
+        assert payload["rows"][0]["transport"] == "pickle"
 
 
 @pytest.mark.parametrize(

@@ -7,6 +7,9 @@ scenarios, and the multiprocessing backend must match on a replayed
 scenario with real worker processes.
 """
 
+import os
+import signal
+
 import numpy as np
 import pytest
 
@@ -17,10 +20,17 @@ from repro.core.providers import ShardView
 from repro.engine import (
     DistributedEngine,
     InSituEngine,
+    MultiprocessExecutor,
     ReplayApp,
     plan_groups,
+    shared_memory_available,
 )
-from repro.errors import CollectionError, ConfigurationError
+from repro.engine.transport import ShmRing
+from repro.errors import (
+    CollectionError,
+    CommunicatorError,
+    ConfigurationError,
+)
 from repro.lulesh import LuleshSimulation
 from repro.lulesh.insitu import BreakPointAnalysis
 from repro.parallel.comm import SimComm
@@ -43,6 +53,27 @@ def _replay_app(seed=3, n_iterations=120, n_locations=32):
         rng.standard_normal((n_iterations, n_locations)), axis=0
     )
     return ReplayApp(history + 5.0)
+
+
+def _nan_replay_app():
+    """Replay app whose history trips the non-finite row check mid-run."""
+    history = np.ones((40, 8))
+    history[20, 2] = np.nan
+    return ReplayApp(history)
+
+
+#: Transports the multiprocessing suites exercise; shared memory is
+#: skipped (not silently passed) where the platform lacks it.
+TRANSPORT_CASES = [
+    "pickle",
+    pytest.param(
+        "shared_memory",
+        marks=pytest.mark.skipif(
+            not shared_memory_available(),
+            reason="multiprocessing.shared_memory unavailable",
+        ),
+    ),
+]
 
 
 def _replay_analysis(name="fit", n_iterations=120, n_locations=32):
@@ -246,7 +277,8 @@ class TestWdMergerEquivalence:
 
 
 class TestMultiprocessingBackend:
-    def test_matches_serial(self):
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_matches_serial(self, transport):
         serial_engine = InSituEngine(_replay_app(), policy="all")
         serial_analysis = serial_engine.add_analysis(_replay_analysis())
         serial_result = serial_engine.run()
@@ -257,13 +289,20 @@ class TestMultiprocessingBackend:
             app_factory=_replay_app,
             chunk=8,
             policy="all",
+            transport=transport,
         )
         analysis = engine.add_analysis(_replay_analysis())
         result = engine.run()
         assert result.backend == "multiprocessing"
+        assert result.transport == transport
         assert result.stopped_at == serial_result.stopped_at
         _assert_fits_match(serial_analysis, analysis)
         assert result.rank_sample_seconds.shape == (2,)
+        stats = result.transport_stats
+        assert stats["transport"] == transport
+        assert [r["rank"] for r in stats["per_rank"]] == [0, 1]
+        assert stats["per_rank"][1]["bytes_moved"] > 0
+        assert stats["total_bytes_moved"] > 0
 
     def test_needs_picklable_factory(self):
         engine = DistributedEngine(
@@ -340,6 +379,100 @@ class TestMultiprocessingBackend:
         assert mp_result.collection_stats[0].mean[0] == pytest.approx(
             sc_result.collection_stats[0].mean[0], rel=1e-12
         )
+
+    def test_rejects_transport_on_simcomm(self):
+        with pytest.raises(ConfigurationError, match="transport"):
+            DistributedEngine(_replay_app(), n_ranks=2, transport="pickle")
+
+    def test_unknown_transport_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError, match="unknown transport"):
+            DistributedEngine(
+                backend="multiprocessing",
+                n_ranks=2,
+                app_factory=_replay_app,
+                transport="carrier-pigeon",
+            )
+
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_worker_death_raises_instead_of_hanging(self, transport):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_replay_app,
+            chunk=8,
+            transport=transport,
+        )
+        engine.add_analysis(_replay_analysis())
+        plans = plan_groups(engine.scheduler.shared, 2)
+        executor = MultiprocessExecutor(
+            engine.app,
+            plans,
+            n_ranks=2,
+            app_factory=_replay_app,
+            max_iterations=120,
+            chunk=8,
+            transport=transport,
+        )
+        executor.start()
+        try:
+            victim = executor._processes[0]
+            os.kill(victim.pid, signal.SIGKILL)
+            victim.join(timeout=10.0)
+            with pytest.raises(CommunicatorError, match="worker rank 1 died"):
+                # One prefetch per attempt: the first may still drain a
+                # reply the worker sent before dying, the next must see
+                # the corpse.  Bounded, so a hang fails the test.
+                for _ in range(4):
+                    executor._prefetch([0])
+        finally:
+            executor.close()
+        assert executor._processes == []
+
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_parent_failure_cleans_up_workers_and_segments(self, transport):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_nan_replay_app,
+            chunk=4,
+            transport=transport,
+        )
+        engine.add_analysis(
+            CurveFitting(
+                ReplayApp.provider,
+                IterParam(0, 7, 1),
+                IterParam(1, 40, 1),
+                order=2,
+                lag=1,
+                batch_size=8,
+                name="nan-window",
+            )
+        )
+        processes = []
+        original_start = MultiprocessExecutor.start
+
+        def capture_start(executor_self):
+            original_start(executor_self)
+            processes.extend(executor_self._processes)
+
+        MultiprocessExecutor.start = capture_start
+        try:
+            with pytest.raises(CollectionError, match="non-finite"):
+                engine.run()
+        finally:
+            MultiprocessExecutor.start = original_start
+        executor = engine.executor
+        # The driver's finally tore everything down despite the failure:
+        # no live worker processes, no leaked shared-memory segments.
+        assert processes and all(not p.is_alive() for p in processes)
+        assert executor._processes == []
+        assert executor._conns == []
+        assert executor._rings == []
+        for name in executor._ring_names:
+            with pytest.raises(FileNotFoundError):
+                ShmRing.attach(name)
+        if transport == "shared_memory":
+            assert executor._ring_names  # the shm path made segments
 
 
 # ----------------------------------------------------------------------

@@ -153,6 +153,25 @@ class TestRunner:
         with pytest.raises(ScenarioError, match="n_ranks"):
             scenarios.run_scenario("heat-diffusion", n_ranks=0)
 
+    def test_transport_alias_resolution(self):
+        assert scenarios.resolve_transport_name("shm") == "shared_memory"
+        assert scenarios.resolve_transport_name("pickle") == "pickle"
+        assert scenarios.resolve_transport_name("auto") == "auto"
+        with pytest.raises(ScenarioError, match="unknown transport"):
+            scenarios.resolve_transport_name("udp")
+
+    def test_transport_needs_multiprocessing(self):
+        with pytest.raises(ScenarioError, match="multiprocessing"):
+            scenarios.run_scenario("heat-diffusion", quick=True, transport="pickle")
+        with pytest.raises(ScenarioError, match="multiprocessing"):
+            scenarios.run_scenario(
+                "heat-diffusion",
+                n_ranks=2,
+                backend="simcomm",
+                transport="shm",
+                quick=True,
+            )
+
     def test_validator_must_report_error(self):
         spec = _dummy_spec(
             name="no-error-metric",
@@ -243,6 +262,19 @@ class TestRoundTrip:
             "heat-diffusion", n_ranks=2, backend="mp", quick=True
         )
         assert run.backend == "multiprocessing"
+        assert run.result.transport in ("shared_memory", "pickle")
+        assert run.to_json()["transport"] == run.result.transport
+        assert run.ok
+
+    def test_multiprocessing_pickle_transport_roundtrip(self):
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            n_ranks=2,
+            backend="mp",
+            transport="pickle",
+            quick=True,
+        )
+        assert run.result.transport == "pickle"
         assert run.ok
 
     def test_advection_wavefront_ranks_span_decomposition(self):
