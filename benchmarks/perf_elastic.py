@@ -1,0 +1,285 @@
+"""Elasticity benchmark: rebalance gain on skewed ranks, recovery cost.
+
+Two legs over the wide-spatial replay scenario on the multiprocessing
+backend at 4 ranks:
+
+``rebalance``
+    One worker rank is slowed ~4x by an injected per-sample delay
+    (calibrated against the fault-free run's measured per-rank
+    sampling cost, with a floor so the signal dominates timer noise).
+    The skewed scenario runs twice — static sharding vs
+    ``rebalance=True`` — and the report compares the **sample-time
+    skew** ``max(rank_sample_seconds) / mean(rank_sample_seconds)``:
+    the rebalancer migrates window slices away from the slow rank, so
+    the skew must drop.
+
+``recovery``
+    Rank 2 of 4 is killed mid-run by a deterministic
+    :class:`~repro.engine.faults.KillFault`.  The run must complete
+    with fit coefficients within 1e-9 of serial; the report records
+    the recovery overhead — iterations where rank 0 resampled the dead
+    shard before the next chunk boundary resharded it away, plus the
+    wall-clock cost against the fault-free run.
+
+Both legs assert fit agreement with the serial engine, so every
+reported number is for a run that produced the *same* science.  Run
+directly::
+
+    python benchmarks/perf_elastic.py [--quick] \
+        [--output BENCH_elastic.json]
+
+Not collected by pytest (the module is not named ``test_*``) — this is
+a timing script, not a correctness test.
+"""
+
+from __future__ import annotations
+
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
+
+import argparse
+import json
+import os
+import time
+from functools import partial
+
+import numpy as np
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.providers import HarmonicProvider
+from repro.engine import DistributedEngine, InSituEngine, ReplayApp
+
+RANKS = 4
+SLOW_RANK = 2
+KILL_RANK = 2
+
+#: Expensive per-location diagnostic (module-level so worker pickling
+#: sees one provider identity).
+heavy_provider = HarmonicProvider(384)
+
+
+def make_app(n_iterations: int, n_locations: int, seed: int = 7) -> ReplayApp:
+    """Deterministic replay app (module-level: workers rebuild it)."""
+    rng = np.random.default_rng(seed)
+    t = np.arange(1, n_iterations + 1)[:, None].astype(np.float64)
+    x = np.arange(n_locations)[None, :].astype(np.float64)
+    wave = 5.0 * np.exp(-0.5 * ((x - 0.35 * t) / (0.06 * n_locations)) ** 2)
+    history = wave + 0.01 * t + 0.002 * x
+    history += 0.02 * rng.standard_normal((n_iterations, n_locations))
+    return ReplayApp(history)
+
+
+def _analysis(n_locations: int, n_iterations: int) -> CurveFitting:
+    return CurveFitting(
+        heavy_provider,
+        (0, n_locations - 1, 1),
+        (1, n_iterations, 1),
+        order=3,
+        lag=1,
+        batch_size=max(256, n_locations),
+        epochs_per_batch=2,
+        name="wide_spatial",
+    )
+
+
+def _coefficient_delta(a: CurveFitting, b: CurveFitting) -> float:
+    return max(
+        float(np.max(np.abs(a.model.coefficients - b.model.coefficients))),
+        abs(a.model.intercept - b.model.intercept),
+    )
+
+
+def _skew(rank_seconds: np.ndarray) -> float:
+    finite = rank_seconds[np.isfinite(rank_seconds)]
+    mean = float(finite.mean())
+    return float(finite.max()) / mean if mean > 0 else 0.0
+
+
+def _mp_run(factory, n_locations, n_iterations, **engine_kwargs):
+    engine = DistributedEngine(
+        backend="multiprocessing",
+        n_ranks=RANKS,
+        app_factory=factory,
+        chunk=8,
+        **engine_kwargs,
+    )
+    analysis = engine.add_analysis(_analysis(n_locations, n_iterations))
+    start = time.perf_counter()
+    result = engine.run()
+    wall = time.perf_counter() - start
+    return analysis, result, wall
+
+
+def run_benchmark(*, n_locations, n_iterations, seed=7):
+    factory = partial(make_app, n_iterations, n_locations, seed)
+
+    serial_engine = InSituEngine(factory())
+    serial_analysis = serial_engine.add_analysis(
+        _analysis(n_locations, n_iterations)
+    )
+    serial_engine.run()
+
+    # Fault-free baseline: calibrates the slowdown and anchors the
+    # recovery-overhead comparison.
+    _, clean, clean_wall = _mp_run(factory, n_locations, n_iterations)
+    baseline_rank_seconds = float(np.mean(clean.rank_sample_seconds))
+    samples_per_rank = (n_locations // RANKS) * n_iterations
+    # Extra delay ~= 3x the measured per-rank sampling bill makes the
+    # slowed rank ~4x its peers; the floor keeps the injected signal
+    # well above scheduler/timer noise on fast machines.
+    per_sample = max(3.0 * baseline_rank_seconds / samples_per_rank, 2e-4)
+    slow_spec = f"slow:rank={SLOW_RANK},per_sample={per_sample:g}"
+
+    static_analysis, static, static_wall = _mp_run(
+        factory, n_locations, n_iterations, faults=slow_spec
+    )
+    rebal_analysis, rebal, rebal_wall = _mp_run(
+        factory, n_locations, n_iterations, faults=slow_spec, rebalance=True
+    )
+    for label, analysis in (
+        ("static-skewed", static_analysis),
+        ("rebalanced", rebal_analysis),
+    ):
+        delta = _coefficient_delta(serial_analysis, analysis)
+        if delta > 1e-9:
+            raise AssertionError(
+                f"{label} fit diverged from serial (delta {delta:.3e})"
+            )
+    static_skew = _skew(static.rank_sample_seconds)
+    rebal_skew = _skew(rebal.rank_sample_seconds)
+    rebalance_leg = {
+        "slow_rank": SLOW_RANK,
+        "per_sample_delay_seconds": per_sample,
+        "static": {
+            "wall_seconds": round(static_wall, 4),
+            "rank_sample_seconds": [
+                round(float(s), 4) for s in static.rank_sample_seconds
+            ],
+            "skew": round(static_skew, 3),
+        },
+        "rebalanced": {
+            "wall_seconds": round(rebal_wall, 4),
+            "rank_sample_seconds": [
+                round(float(s), 4) for s in rebal.rank_sample_seconds
+            ],
+            "skew": round(rebal_skew, 3),
+            "events": [e.to_json() for e in rebal.recovery_events],
+        },
+        "skew_reduction": round(static_skew / rebal_skew, 3)
+        if rebal_skew > 0
+        else None,
+    }
+
+    kill_iteration = max(2, n_iterations // 3)
+    kill_spec = f"kill:rank={KILL_RANK},iter={kill_iteration}"
+    kill_analysis, killed, killed_wall = _mp_run(
+        factory, n_locations, n_iterations, faults=kill_spec
+    )
+    delta = _coefficient_delta(serial_analysis, kill_analysis)
+    if delta > 1e-9:
+        raise AssertionError(
+            f"post-recovery fit diverged from serial (delta {delta:.3e})"
+        )
+    resampled = sum(
+        e.resampled_iterations
+        for e in killed.recovery_events
+        if e.kind == "reshard"
+    )
+    recovery_leg = {
+        "killed_rank": KILL_RANK,
+        "kill_iteration": kill_iteration,
+        "wall_seconds": round(killed_wall, 4),
+        "fault_free_wall_seconds": round(clean_wall, 4),
+        "overhead_seconds": round(killed_wall - clean_wall, 4),
+        "resampled_iterations": resampled,
+        "max_coefficient_delta": delta,
+        "events": [e.to_json() for e in killed.recovery_events],
+    }
+
+    return {
+        "scenario": "wide_spatial",
+        "n_locations": n_locations,
+        "n_iterations": n_iterations,
+        "ranks": RANKS,
+        "rebalance": rebalance_leg,
+        "recovery": recovery_leg,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="trimmed scenario for CI smoke"
+    )
+    parser.add_argument(
+        "--output",
+        default="BENCH_elastic.json",
+        help="where to write the JSON results",
+    )
+    parser.add_argument(
+        "--min-skew-reduction",
+        type=float,
+        default=1.2,
+        help="fail unless rebalancing reduces sample-time skew by at "
+        "least this factor",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        spec = dict(n_locations=192, n_iterations=60)
+    else:
+        spec = dict(n_locations=384, n_iterations=120)
+    result = run_benchmark(**spec)
+
+    rb = result["rebalance"]
+    print(
+        f"skewed ranks (rank {rb['slow_rank']} slowed "
+        f"{rb['per_sample_delay_seconds']:.2e}s/sample):"
+    )
+    print(
+        f"  static     skew {rb['static']['skew']:.2f}  wall "
+        f"{rb['static']['wall_seconds']:.3f}s"
+    )
+    print(
+        f"  rebalanced skew {rb['rebalanced']['skew']:.2f}  wall "
+        f"{rb['rebalanced']['wall_seconds']:.3f}s  "
+        f"({len(rb['rebalanced']['events'])} event(s))"
+    )
+    print(f"  skew reduction {rb['skew_reduction']}x")
+    rc = result["recovery"]
+    print(
+        f"rank {rc['killed_rank']} killed at iteration "
+        f"{rc['kill_iteration']}:"
+    )
+    print(
+        f"  completed in {rc['wall_seconds']:.3f}s "
+        f"(fault-free {rc['fault_free_wall_seconds']:.3f}s, overhead "
+        f"{rc['overhead_seconds']:+.3f}s)"
+    )
+    print(
+        f"  {rc['resampled_iterations']} iteration(s) resampled by rank 0, "
+        f"fit delta vs serial {rc['max_coefficient_delta']:.2e}"
+    )
+
+    payload = {
+        "quick": args.quick,
+        "cpu_count": os.cpu_count() or 1,
+        "results": result,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(f"wrote {args.output}")
+
+    if (
+        rb["skew_reduction"] is not None
+        and rb["skew_reduction"] < args.min_skew_reduction
+    ):
+        print(
+            f"FAIL: skew reduction {rb['skew_reduction']}x is below the "
+            f"required {args.min_skew_reduction}x"
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

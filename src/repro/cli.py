@@ -17,8 +17,12 @@ Three subcommands drive the scenario registry
     support it report ``adaptive`` in ``list``); the validator bound
     still applies, so CI can fail an adaptive run whose accuracy
     drifts.  ``--quick`` applies the spec's trimmed smoke parameters;
-    ``--json out.json`` writes the full report.  Exit status 1 on
-    validation failure or serial/distributed divergence.
+    ``--json out.json`` writes the full report.  ``--faults SPEC``
+    injects deterministic failures (rank kills, slowdowns, transport
+    drops) into the distributed run and ``--rebalance`` migrates work
+    away from slow ranks; both leave results bit-identical to serial,
+    so the cross-check still applies.  Exit status 1 on validation
+    failure or serial/distributed divergence.
 
 ``bench``
     Time every (or the named) scenario serial and distributed, print a
@@ -29,6 +33,8 @@ Examples::
     python -m repro list
     python -m repro run heat-diffusion --quick
     python -m repro run advection-front --ranks 4 --json report.json
+    python -m repro run heat-diffusion --ranks 4 --backend mp \
+        --faults 'kill:rank=2,iter=40' --rebalance
     python -m repro bench --ranks 2 --quick
 """
 
@@ -106,6 +112,8 @@ def _cmd_run(args) -> int:
         params=_parse_params(args.param),
         crosscheck=False if args.no_crosscheck else None,
         max_iterations=args.max_iterations,
+        faults=args.faults,
+        rebalance=args.rebalance,
     )
     if run.n_ranks == 1:
         mode = "serial"
@@ -115,6 +123,10 @@ def _cmd_run(args) -> int:
             mode += f", transport={run.result.transport}"
     if run.adaptive:
         mode += " + adaptive cadence"
+    if run.faults is not None:
+        mode += f" + faults[{run.faults.to_spec()}]"
+    if run.rebalance:
+        mode += " + rebalance"
     print(f"scenario  : {run.name}{' [quick]' if run.quick else ''}")
     print(f"mode      : {mode}")
     print(
@@ -145,6 +157,14 @@ def _cmd_run(args) -> int:
             f"vs {totals['matching_iterations']} full-cadence rows, "
             f"{totals['snapbacks']} snap-backs)"
         )
+    events = getattr(run.result, "recovery_events", [])
+    if events:
+        summary = ", ".join(
+            f"{event.kind}@{event.iteration}"
+            + (f"(rank {event.rank})" if event.rank is not None else "")
+            for event in events
+        )
+        print(f"recovery  : {summary}")
     if run.crosscheck is not None:
         report = run.crosscheck
         verdict = "PASS" if run.crosscheck_ok else "FAIL"
@@ -284,6 +304,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="KEY=VALUE",
         help="override a scenario parameter (repeatable)",
+    )
+    p_run.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="inject deterministic faults into a distributed run, e.g. "
+        "'kill:rank=2,iter=40;slow:rank=1,per_sample=1e-4;"
+        "drop:rank=1,chunk=2'",
+    )
+    p_run.add_argument(
+        "--rebalance",
+        action="store_true",
+        help="migrate window slices away from slow ranks when sample-time "
+        "skew exceeds the hysteresis threshold (distributed runs)",
     )
     p_run.add_argument(
         "--no-crosscheck",

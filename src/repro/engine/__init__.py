@@ -46,6 +46,15 @@ from repro.engine.distributed import (
     RankExecutor,
     SimCommExecutor,
 )
+from repro.engine.faults import (
+    KILL_EXIT_CODE,
+    DelayFault,
+    DropFault,
+    FaultPlan,
+    KillFault,
+    RecoveryEvent,
+    as_fault_plan,
+)
 from repro.engine.driver import (
     EngineResult,
     ExecutionDriver,
@@ -95,18 +104,24 @@ __all__ = [
     "CadenceController",
     "CadencePolicy",
     "CollectionGroup",
+    "DelayFault",
     "DistributedEngine",
     "DistributedResult",
+    "DropFault",
     "EngineResult",
     "ExecutionDriver",
     "Executor",
+    "FaultPlan",
     "GroupPlan",
     "InSituEngine",
+    "KILL_EXIT_CODE",
+    "KillFault",
     "LocalExecutor",
     "LuleshApp",
     "MultiprocessExecutor",
     "RankCollector",
     "RankExecutor",
+    "RecoveryEvent",
     "ReplayApp",
     "SharedCollector",
     "SimCommExecutor",
@@ -117,6 +132,7 @@ __all__ = [
     "TRANSPORT_PICKLE",
     "TRANSPORT_SHARED_MEMORY",
     "WdMergerApp",
+    "as_fault_plan",
     "as_simulation_app",
     "plan_groups",
     "register_adapter",

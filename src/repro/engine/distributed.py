@@ -55,11 +55,14 @@ Two execution backends ship behind the :class:`RankExecutor` protocol:
 
 from __future__ import annotations
 
+import os
 import pickle
+import sys
 import time
+import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -75,6 +78,12 @@ from repro.engine.driver import (
     Executor,
     GroupPlan,
     plan_groups,
+)
+from repro.engine.faults import (
+    KILL_EXIT_CODE,
+    FaultPlan,
+    RecoveryEvent,
+    as_fault_plan,
 )
 from repro.engine.scheduler import (
     POLICY_ANY,
@@ -122,6 +131,73 @@ __all__ = [
 ]
 
 
+_EMPTY_SHARD = np.empty(0, dtype=np.float64)
+
+
+def _plan_shard_counts(
+    plans: Sequence[GroupPlan], n_ranks: int
+) -> List[int]:
+    """Total shard columns each rank owns, summed over all groups."""
+    return [
+        int(sum(plan.shards[rank].shape[0] for plan in plans))
+        for rank in range(n_ranks)
+    ]
+
+
+def _rebalance_weights(
+    counts: Sequence[int],
+    samples: Sequence[float],
+    seconds: Sequence[float],
+    dead: Sequence[bool],
+    threshold: float,
+    min_window_seconds: float = 5e-3,
+) -> Tuple[Optional[List[float]], float]:
+    """Per-rank weights for a skew-triggered rebalance, or ``None`` to hold.
+
+    ``samples``/``seconds`` are the per-rank work measured since the
+    last layout change.  Speeds (samples per second) are estimated for
+    every live rank that did measurable work; the projected time to
+    sample each rank's current share (``counts``) at its measured speed
+    gives the skew ``max / mean``, and only a skew beyond ``threshold``
+    — with at least ``min_window_seconds`` of evidence on some rank —
+    triggers a migration.  That hysteresis is what keeps balanced runs
+    from churning on timer noise.  Ranks without a speed estimate are
+    assigned the median measured speed (a neutral guess).
+    """
+    n_ranks = len(counts)
+    speeds: Dict[int, float] = {}
+    for rank in range(n_ranks):
+        if dead[rank]:
+            continue
+        if (
+            samples[rank] > 0
+            and np.isfinite(seconds[rank])
+            and seconds[rank] > 0.0
+        ):
+            speeds[rank] = float(samples[rank]) / float(seconds[rank])
+    if len(speeds) < 2:
+        return None, 0.0
+    if max(seconds[rank] for rank in speeds) < min_window_seconds:
+        return None, 0.0
+    projected = {
+        rank: counts[rank] / speeds[rank]
+        for rank in speeds
+        if counts[rank] > 0
+    }
+    if len(projected) < 2:
+        return None, 0.0
+    times = np.array(list(projected.values()), dtype=np.float64)
+    skew = float(times.max() / times.mean())
+    if skew <= threshold:
+        return None, skew
+    median = float(np.median(list(speeds.values())))
+    weights = [0.0] * n_ranks
+    for rank in range(n_ranks):
+        if not dead[rank]:
+            weights[rank] = speeds.get(rank, median)
+    return weights, skew
+
+
 class RankCollector:
     """One rank's collection state: shard views, stores and partials.
 
@@ -131,19 +207,39 @@ class RankCollector:
     :class:`SeriesStore` covering only the shard's columns, and a
     width-1 :class:`RunningStats` partial folding every value the rank
     has sampled (the aggregate Chan-merged across ranks at shutdown).
+
+    The collector is *elastic*: :meth:`reshard` adopts a new shard
+    layout mid-run, archiving the current stores as a completed
+    **epoch** (a span of iterations sampled under one layout) and
+    opening fresh ones over the new columns.  Stats partials persist
+    across epochs — they are value-level and column-agnostic.
     """
 
     def __init__(self, rank: int, plans: Sequence[GroupPlan]) -> None:
         self.rank = rank
-        self.views = [
-            ShardView(plan.provider, plan.shards[rank]) for plan in plans
-        ]
-        self.stores = [
-            SeriesStore(plan.shards[rank], capacity=plan.temporal.count)
-            for plan in plans
-        ]
         self.stats = [RunningStats(1) for _ in plans]
         self.sample_seconds = 0.0
+        #: Per group: stores of completed epochs, in time order.
+        self.archived: List[List[SeriesStore]] = [[] for _ in plans]
+        self.views: List[ShardView] = []
+        self.stores: List[SeriesStore] = []
+        self._open_epoch(plans)
+
+    def _open_epoch(self, plans: Sequence[GroupPlan]) -> None:
+        self.views = [
+            ShardView(plan.provider, plan.shards[self.rank])
+            for plan in plans
+        ]
+        self.stores = [
+            SeriesStore(plan.shards[self.rank], capacity=plan.temporal.count)
+            for plan in plans
+        ]
+
+    def reshard(self, plans: Sequence[GroupPlan]) -> None:
+        """Adopt the plans' new shard layout (archives the open epoch)."""
+        for group, store in enumerate(self.stores):
+            self.archived[group].append(store)
+        self._open_epoch(plans)
 
     def collect(self, domain: object, iteration: int, group: int) -> np.ndarray:
         """Gather this rank's shard of one group at one iteration."""
@@ -169,13 +265,31 @@ class SimCommExecutor:
     max over ranks as the parallel sampling time) and the row assembly
     is an ``allreduce_array`` of zero-padded shard contributions,
     charged byte-accurately to the communicator ledger.
+
+    Elasticity on this backend is fully deterministic: an injected kill
+    reshards the dead rank's window over the survivors *before* the
+    kill iteration is sampled (all ranks share the one live app, so no
+    row is ever lost and results stay bit-identical to serial), an
+    injected delay charges simulated seconds to the rank's sampling
+    ledger without sleeping, and skew-triggered rebalancing migrates
+    shard columns between epochs once the measured per-rank sample
+    times diverge past the hysteresis threshold.
     """
 
     #: In-process backend: rows move by assignment, nothing is wired.
     transport_name = None
 
     def __init__(
-        self, app: SimulationApp, plans: Sequence[GroupPlan], comm: SimComm
+        self,
+        app: SimulationApp,
+        plans: Sequence[GroupPlan],
+        comm: SimComm,
+        *,
+        faults: Optional[FaultPlan] = None,
+        elastic: bool = True,
+        rebalance: bool = False,
+        rebalance_threshold: float = 1.75,
+        rebalance_every: int = 8,
     ) -> None:
         self.app = app
         self.plans = list(plans)
@@ -183,23 +297,155 @@ class SimCommExecutor:
         self.n_ranks = comm.size
         self.ranks = [RankCollector(r, self.plans) for r in range(comm.size)]
         self.last_step_seconds = 0.0
+        self.elastic = elastic
+        self.faults = faults
+        self.rebalance_enabled = rebalance
+        self.rebalance_threshold = rebalance_threshold
+        self.rebalance_every = rebalance_every
+        self.recovery_events: List[RecoveryEvent] = []
+        self._dead = [False] * self.n_ranks
+        self._kills = (
+            sorted(faults.kills, key=lambda k: k.iteration) if faults else []
+        )
+        self._delays = (
+            {d.rank: d for d in faults.delays} if faults else {}
+        )
+        # Rebalance bookkeeping: cumulative samples per rank, plus the
+        # snapshot taken at the last layout change (speeds are measured
+        # over the window since then).
+        self._rank_samples = [0] * self.n_ranks
+        self._rb_samples = [0] * self.n_ranks
+        self._rb_seconds = [0.0] * self.n_ranks
+        self._sampled_since_check = 0
+        self._refresh_offsets()
+
+    def _refresh_offsets(self) -> None:
         # Column offset of each rank's shard inside the full window.
         self._offsets = [
-            np.cumsum([0] + [plan.shards[r].shape[0] for r in range(comm.size)])
+            np.cumsum(
+                [0]
+                + [plan.shards[r].shape[0] for r in range(self.n_ranks)]
+            )
             for plan in self.plans
         ]
 
     def start(self) -> None:
         pass
 
+    # -- elasticity ------------------------------------------------------
+
+    def _apply_layout(
+        self,
+        weights: Optional[Sequence[float]],
+        kind: str,
+        iteration: int,
+        detail: str = "",
+    ) -> bool:
+        """Reshard every plan; archive epochs; record the event."""
+        exclude = [r for r in range(self.n_ranks) if self._dead[r]]
+        counts_before = _plan_shard_counts(self.plans, self.n_ranks)
+        changed = False
+        for plan in self.plans:
+            new = plan.decomposition.rebalance(weights, exclude)
+            if new.counts() != plan.decomposition.counts():
+                changed = True
+            plan.decomposition = new
+            plan.shards = [
+                plan.locations[new.slice_for(r)]
+                for r in range(self.n_ranks)
+            ]
+        if kind == "rebalance" and not changed:
+            return False
+        for rank in self.ranks:
+            rank.reshard(self.plans)
+        self._refresh_offsets()
+        self._rb_samples = list(self._rank_samples)
+        self._rb_seconds = [rank.sample_seconds for rank in self.ranks]
+        self.recovery_events.append(
+            RecoveryEvent(
+                kind=kind,
+                iteration=iteration,
+                detail=detail,
+                counts_before=counts_before,
+                counts_after=_plan_shard_counts(self.plans, self.n_ranks),
+            )
+        )
+        return True
+
+    def _inject_faults(self, iteration: int) -> None:
+        for kill in self._kills:
+            if kill.iteration > iteration or self._dead[kill.rank]:
+                continue
+            if not self.elastic:
+                raise CommunicatorError(
+                    f"rank {kill.rank} died at iteration {iteration} "
+                    "(injected kill fault) and elastic recovery is "
+                    "disabled"
+                )
+            self._dead[kill.rank] = True
+            self.recovery_events.append(
+                RecoveryEvent(
+                    kind="rank_death",
+                    iteration=iteration,
+                    rank=kill.rank,
+                    detail="injected kill fault",
+                )
+            )
+            self._apply_layout(
+                None,
+                "reshard",
+                iteration,
+                detail=(
+                    f"rank {kill.rank} dead; window re-sharded over "
+                    "survivors"
+                ),
+            )
+
+    def _maybe_rebalance(self, iteration: int) -> None:
+        counts = _plan_shard_counts(self.plans, self.n_ranks)
+        seconds = [rank.sample_seconds for rank in self.ranks]
+        weights, skew = _rebalance_weights(
+            counts,
+            [
+                self._rank_samples[r] - self._rb_samples[r]
+                for r in range(self.n_ranks)
+            ],
+            [seconds[r] - self._rb_seconds[r] for r in range(self.n_ranks)],
+            self._dead,
+            self.rebalance_threshold,
+        )
+        if weights is None:
+            return
+        self._apply_layout(
+            weights,
+            "rebalance",
+            iteration,
+            detail=(
+                f"sample-time skew {skew:.2f} > "
+                f"{self.rebalance_threshold:g}"
+            ),
+        )
+
+    # -- the executor protocol -------------------------------------------
+
     def advance(
         self, iteration: int, active: Sequence[int]
     ) -> Dict[int, np.ndarray]:
+        # Injected deaths and due rebalances apply BEFORE sampling, so
+        # every collected row is assembled under exactly one layout.
+        self._inject_faults(iteration)
+        if (
+            self.rebalance_enabled
+            and self._sampled_since_check >= self.rebalance_every
+        ):
+            self._sampled_since_check = 0
+            self._maybe_rebalance(iteration)
         tick = time.perf_counter()
         self.app.step()
         self.last_step_seconds = time.perf_counter() - tick
         domain = self.app.domain
         rows: Dict[int, np.ndarray] = {}
+        sampled_counts = [0] * self.n_ranks
         for g in active:
             plan = self.plans[g]
             if not plan.temporal.matches(iteration):
@@ -209,19 +455,56 @@ class SimCommExecutor:
             contributions = []
             for rank in self.ranks:
                 part = rank.collect(domain, iteration, g)
+                sampled_counts[rank.rank] += int(part.shape[0])
+                self._rank_samples[rank.rank] += int(part.shape[0])
                 padded = np.zeros(width, dtype=np.float64)
                 padded[offsets[rank.rank]: offsets[rank.rank + 1]] = part
                 contributions.append(padded)
             rows[g] = self.comm.allreduce_array(contributions, op="sum")
+        if rows:
+            for rank_id, delay in self._delays.items():
+                if not self._dead[rank_id]:
+                    # Simulated slowness: charged to the ledger, never
+                    # slept, so decisions stay deterministic.
+                    self.ranks[rank_id].sample_seconds += delay.seconds_for(
+                        sampled_counts[rank_id]
+                    )
+            self._sampled_since_check += 1
         return rows
 
     def shard_stores(self, group: int) -> List[SeriesStore]:
-        """Rank-local stores of one group, in rank order."""
+        """Current-epoch rank-local stores of one group, in rank order."""
         return [rank.stores[group] for rank in self.ranks]
 
     def merged_store(self, group: int) -> SeriesStore:
-        """Reassemble the full store from the rank shards (Chan-style)."""
-        return SeriesStore.merge_shards(self.shard_stores(group))
+        """Reassemble the full store across ranks and reshard epochs.
+
+        Each epoch (the span between two layout changes) merges exactly
+        like a static run — shard columns concatenated in rank order —
+        and the epochs then stack in time order.  Fault-free, balanced
+        runs have a single epoch, where this reduces to one
+        :meth:`SeriesStore.merge_shards` call.
+        """
+        epochs = [
+            [rank.archived[group][e] for rank in self.ranks]
+            for e in range(len(self.ranks[0].archived[group]))
+        ]
+        epochs.append([rank.stores[group] for rank in self.ranks])
+        merged = [SeriesStore.merge_shards(stores) for stores in epochs]
+        occupied = [store for store in merged if len(store)]
+        if not occupied:
+            return merged[-1]
+        if len(occupied) == 1:
+            return occupied[0]
+        out = SeriesStore(
+            self.plans[group].locations,
+            capacity=max(1, sum(len(store) for store in occupied)),
+        )
+        for store in occupied:
+            matrix = store.matrix()
+            for index, it in enumerate(store.iterations):
+                out.add_row(int(it), matrix[index])
+        return out
 
     def reduce_stats(self) -> List[RunningStats]:
         merged = []
@@ -265,6 +548,7 @@ class _WorkerTask:
     max_iterations: int
     transport: str = TRANSPORT_AUTO
     ring_name: Optional[str] = None
+    faults: Optional[FaultPlan] = None
 
 
 def _shard_worker(conn, task: _WorkerTask) -> None:
@@ -272,49 +556,112 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
 
     Protocol (parent -> worker): ``("advance", n, active)`` requests up
     to ``n`` more iterations sampling the groups in ``active``;
-    ``("finish",)`` requests the worker's timing/byte counters and ends
-    the loop.  Replies: one ``("rows", ...)`` acknowledgement per chunk
-    — carrying the pickled payload on the pickle transport, or just the
+    ``("reshard", locations_per_group)`` adopts a new shard layout (an
+    elastic recovery or rebalance — no reply); ``("resend",)`` replays
+    the chunk retained by an injected drop fault; ``("finish",)``
+    requests the worker's timing/byte counters and ends the loop.
+    Replies: one ``("rows", ..., extra)`` acknowledgement per chunk —
+    carrying the pickled payload on the pickle transport, or just the
     ring record count on the shared-memory transport, where the rows
-    themselves travel through the worker's ring buffer — and a final
-    ``("stats", {...})``.  Workers do *not* fold partial statistics —
+    themselves travel through the worker's ring buffer; ``extra`` is
+    the worker's cumulative sample-seconds ledger, which the parent's
+    rebalancer reads — and a final ``("stats", {...})``.  An uncaught
+    exception is shipped back as ``("error", traceback)`` before the
+    worker exits nonzero, so the parent's ``CommunicatorError`` can say
+    *why* the rank died.  Workers do *not* fold partial statistics —
     chunked prefetch may sample iterations the parent never consumes
     (a mid-chunk stop), so the parent folds each rank's partial from
     the shard parts it actually uses.
+
+    Injected faults (:class:`~repro.engine.faults.FaultPlan`): a kill
+    fault ``os._exit``\\ s the process the moment the replica reaches
+    the fault iteration (no ack, no cleanup — a reclaimed preemptible
+    instance); a delay fault really sleeps inside the timed sampling
+    section; a drop fault withholds one chunk's transport payload once
+    and serves it on the parent's resend request.
     """
-    app = as_simulation_app(task.app_factory())
-    views = [
-        ShardView(spec.provider, spec.locations) for spec in task.groups
-    ]
-    if task.transport == TRANSPORT_SHARED_MEMORY:
-        sender = ShmRowSender(ShmRing.attach(task.ring_name))
-    else:
-        sender = PickleRowSender()
-    sample_seconds = 0.0
-    iteration = 0
+    failed = False
+    sender = None
     try:
+        app = as_simulation_app(task.app_factory())
+        views = [
+            ShardView(spec.provider, spec.locations) for spec in task.groups
+        ]
+        if task.transport == TRANSPORT_SHARED_MEMORY:
+            sender = ShmRowSender(ShmRing.attach(task.ring_name))
+        else:
+            sender = PickleRowSender()
+        kill = task.faults.kill_for(task.rank) if task.faults else None
+        delay = task.faults.delay_for(task.rank) if task.faults else None
+        drop = task.faults.drop_for(task.rank) if task.faults else None
+        sample_seconds = 0.0
+        iteration = 0
+        chunks_sent = 0
+        dropped_once = False
+        retained: Optional[list] = None
         while True:
             message = conn.recv()
-            if message[0] == "advance":
+            command = message[0]
+            if command == "advance":
                 _, budget, active = message
                 payload = []
                 for _ in range(budget):
                     if app.done or iteration >= task.max_iterations:
                         break
                     iteration += 1
+                    if kill is not None and iteration >= kill.iteration:
+                        # Injected death: vanish without a goodbye.
+                        # os._exit skips every finally/atexit so no ack
+                        # or error message ever leaves the process.
+                        os._exit(KILL_EXIT_CODE)
                     app.step()
                     parts: List[Optional[np.ndarray]] = []
-                    for g, (spec, view) in enumerate(zip(task.groups, views)):
+                    sampled = 0
+                    for g, (spec, view) in enumerate(
+                        zip(task.groups, views)
+                    ):
                         if g in active and spec.temporal.matches(iteration):
                             tick = time.perf_counter()
                             part = view.sample(app.domain)
                             sample_seconds += time.perf_counter() - tick
+                            sampled += int(part.shape[0])
                             parts.append(part)
                         else:
                             parts.append(None)
+                    if delay is not None and any(
+                        part is not None for part in parts
+                    ):
+                        # Injected slowness: a real sleep inside the
+                        # timed section, so the ledger the rebalancer
+                        # reads reflects it.
+                        tick = time.perf_counter()
+                        time.sleep(delay.seconds_for(sampled))
+                        sample_seconds += time.perf_counter() - tick
                     payload.append((iteration, parts))
-                sender.send(conn, payload)
-            elif message[0] == "finish":
+                extra = {"sample_seconds": sample_seconds}
+                if (
+                    drop is not None
+                    and not dropped_once
+                    and chunks_sent == drop.chunk
+                ):
+                    dropped_once = True
+                    retained = payload
+                    conn.send(("dropped", extra))
+                else:
+                    sender.send(conn, payload, extra)
+                    chunks_sent += 1
+            elif command == "resend":
+                sender.send(
+                    conn, retained, {"sample_seconds": sample_seconds}
+                )
+                retained = None
+                chunks_sent += 1
+            elif command == "reshard":
+                views = [
+                    ShardView(spec.provider, locations)
+                    for spec, locations in zip(task.groups, message[1])
+                ]
+            elif command == "finish":
                 conn.send(
                     (
                         "stats",
@@ -333,9 +680,39 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
                 )
     except (EOFError, KeyboardInterrupt):  # pragma: no cover - parent died
         pass
+    except Exception:
+        failed = True
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - pipe already gone
+            pass
     finally:
-        sender.close()
+        if sender is not None:
+            sender.close()
         conn.close()
+    if failed:
+        sys.exit(1)
+
+
+class _WorkerDeath(CommunicatorError):
+    """A worker process stopped participating.
+
+    Subclasses :class:`CommunicatorError` so the non-elastic path can
+    simply let it propagate (exactly the historical behaviour), while
+    the elastic path catches it specifically — never mistaking a
+    protocol desync or sizing bug for a recoverable death.
+    """
+
+    def __init__(
+        self,
+        index: int,
+        message: str,
+        worker_traceback: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.index = index
+        self.rank = index + 1
+        self.worker_traceback = worker_traceback
 
 
 class MultiprocessExecutor:
@@ -354,6 +731,26 @@ class MultiprocessExecutor:
     (per-worker ring buffers of binary records, the pipe carries only
     control traffic), ``"pickle"`` (the legacy pickled-payload pipe),
     or ``"auto"`` (shared memory when available, pickle otherwise).
+
+    **Elastic recovery** (``elastic=True``, the default): a worker
+    death detected by the poll/liveness path no longer aborts the run.
+    The chunk in flight is completed by rank 0 re-sampling the dead
+    rank's shard columns from its own live app (bit-identical — the
+    replicas are deterministic), and once the buffered chunk drains the
+    dead rank's window is re-sharded over the survivors via
+    :meth:`BlockDecomposition.rebalance` and pushed to the workers as a
+    ``reshard`` message.  Every already-streamed complete-iteration row
+    stays merged; only the dead rank's unacked iterations are
+    re-sampled, and that count is the recovery overhead reported in
+    ``recovery_events``.  ``elastic=False`` restores the historical
+    raise-on-death contract.
+
+    **Rebalancing** (``rebalance=True``): worker chunk acks carry each
+    rank's cumulative sample-seconds ledger; every ``rebalance_every``
+    chunks the parent compares measured per-rank speeds against current
+    shard widths and — only past the ``rebalance_threshold`` hysteresis
+    — migrates columns toward fast ranks with the same reshard
+    machinery.
     """
 
     def __init__(
@@ -366,6 +763,11 @@ class MultiprocessExecutor:
         max_iterations: int,
         chunk: int = 8,
         transport: str = TRANSPORT_AUTO,
+        elastic: bool = True,
+        faults: Optional[FaultPlan] = None,
+        rebalance: bool = False,
+        rebalance_threshold: float = 1.75,
+        rebalance_every: int = 2,
     ) -> None:
         if chunk <= 0:
             raise ConfigurationError(f"chunk must be positive, got {chunk}")
@@ -377,6 +779,12 @@ class MultiprocessExecutor:
         self.chunk = chunk
         self.transport_name = resolve_transport(transport)
         self.last_step_seconds = 0.0
+        self.elastic = elastic
+        self.faults = faults
+        self.rebalance_enabled = rebalance
+        self.rebalance_threshold = rebalance_threshold
+        self.rebalance_every = rebalance_every
+        self.recovery_events: List[RecoveryEvent] = []
         self._views0 = [
             ShardView(plan.provider, plan.shards[0]) for plan in self.plans
         ]
@@ -395,7 +803,21 @@ class MultiprocessExecutor:
         self._rings: List[ShmRing] = []
         self._receivers: list = []
         self._ring_names: List[str] = []
-        self._worker_stats: Optional[List[dict]] = None
+        self._worker_stats: Optional[List[Optional[dict]]] = None
+        # Elasticity state.
+        n_workers = max(0, n_ranks - 1)
+        self._worker_dead = [False] * n_workers
+        self._reshard_needed = False
+        self._adopt_views: Dict[tuple, ShardView] = {}
+        self._rank_samples = [0] * n_ranks
+        self._worker_seconds = [0.0] * n_workers
+        self._rb_samples = [0] * n_ranks
+        self._rb_seconds = [0.0] * n_ranks
+        self._chunks_since_check = 0
+        self._last_iteration = 0
+        self._resampled_total = 0
+        self._resampled_marked = 0
+        self._delay0 = faults.delay_for(0) if faults else None
 
     def start(self) -> None:
         import multiprocessing
@@ -409,13 +831,14 @@ class MultiprocessExecutor:
         )
         ctx = multiprocessing.get_context(method)
         use_shm = self.transport_name == TRANSPORT_SHARED_MEMORY
+        # Rings are sized for FULL window widths, not the rank's initial
+        # shard: an elastic reshard can hand any rank up to the whole
+        # window, and the ring must already fit it.
+        widths = [int(plan.width) for plan in self.plans]
         tasks = []
         for rank in range(1, self.n_ranks):
             ring = None
             if use_shm:
-                widths = [
-                    int(plan.shards[rank].shape[0]) for plan in self.plans
-                ]
                 ring = ShmRing.create(ring_capacity_for(widths, self.chunk))
                 self._rings.append(ring)
                 self._ring_names.append(ring.name)
@@ -434,6 +857,7 @@ class MultiprocessExecutor:
                     max_iterations=self.max_iterations,
                     transport=self.transport_name,
                     ring_name=None if ring is None else ring.name,
+                    faults=self.faults,
                 )
             )
         try:
@@ -468,14 +892,37 @@ class MultiprocessExecutor:
             else:
                 self._receivers.append(PickleRowReceiver(n_groups))
 
-    def _died(self, index: int) -> CommunicatorError:
+    def _died(
+        self, index: int, worker_traceback: Optional[str] = None
+    ) -> _WorkerDeath:
         process = self._processes[index]
+        conn = self._conns[index]
+        if worker_traceback is None:
+            # Drain any last words: a worker that hit an exception
+            # ships ("error", traceback) over the pipe before exiting.
+            try:
+                while conn.poll(0):
+                    message = conn.recv()
+                    if message and message[0] == "error":
+                        worker_traceback = message[1]
+            except (EOFError, OSError, ConnectionResetError):
+                pass
         exitcode = process.exitcode
-        return CommunicatorError(
-            f"worker rank {index + 1} died mid-run "
-            f"(exit code {exitcode}); its replica, a provider, or the "
-            "process itself failed — any traceback is on stderr"
-        )
+        detail = f"exit code {exitcode}"
+        if exitcode == KILL_EXIT_CODE:
+            detail += " (injected kill fault)"
+        if worker_traceback:
+            message = (
+                f"worker rank {index + 1} died mid-run ({detail}); "
+                f"worker traceback:\n{worker_traceback}"
+            )
+        else:
+            message = (
+                f"worker rank {index + 1} died mid-run ({detail}); its "
+                "replica, a provider, or the process itself failed "
+                "without delivering a traceback"
+            )
+        return _WorkerDeath(index, message, worker_traceback)
 
     def _post(self, index: int, message) -> None:
         try:
@@ -486,59 +933,291 @@ class MultiprocessExecutor:
     def _recv(self, index: int, expected: str):
         process = self._processes[index]
         conn = self._conns[index]
-        try:
-            # Poll so a killed worker surfaces as a clean error instead
-            # of the parent blocking forever on a half-closed pipe.
-            while not conn.poll(0.2):
-                if not process.is_alive():
-                    # One last poll: the worker may have replied and
-                    # exited between the poll and the liveness check.
-                    if conn.poll(0):
-                        break
-                    raise self._died(index)
-            reply = conn.recv()
-        except (EOFError, ConnectionResetError) as exc:
-            raise self._died(index) from exc
-        if reply[0] != expected:
-            raise CommunicatorError(
-                f"worker protocol desync: expected {expected!r}, "
-                f"got {reply[0]!r}"
+        resent = False
+        while True:
+            try:
+                # Poll so a killed worker surfaces as a clean error
+                # instead of the parent blocking forever on a
+                # half-closed pipe.
+                while not conn.poll(0.2):
+                    if not process.is_alive():
+                        # One last poll: the worker may have replied and
+                        # exited between the poll and the liveness check.
+                        if conn.poll(0):
+                            break
+                        raise self._died(index)
+                reply = conn.recv()
+            except (EOFError, ConnectionResetError) as exc:
+                raise self._died(index) from exc
+            if reply[0] == "error":
+                raise self._died(index, worker_traceback=reply[1])
+            if reply[0] == "dropped" and expected == "rows":
+                # Injected transport loss: the worker withheld the
+                # chunk; ask it to replay its retained payload.
+                self._note_extra(index, reply[1])
+                self.recovery_events.append(
+                    RecoveryEvent(
+                        kind="chunk_dropped",
+                        iteration=self._last_iteration,
+                        rank=index + 1,
+                        detail=(
+                            "transport chunk dropped once (injected); "
+                            "resend requested"
+                        ),
+                    )
+                )
+                self._post(index, ("resend",))
+                resent = True
+                continue
+            if reply[0] != expected:
+                raise CommunicatorError(
+                    f"worker protocol desync: expected {expected!r}, "
+                    f"got {reply[0]!r}"
+                )
+            if expected == "rows" and len(reply) > 2:
+                self._note_extra(index, reply[2])
+            if resent:
+                self.recovery_events.append(
+                    RecoveryEvent(
+                        kind="chunk_resent",
+                        iteration=self._last_iteration,
+                        rank=index + 1,
+                        detail="dropped chunk replayed from the worker's "
+                        "retained payload",
+                    )
+                )
+            return reply
+
+    def _note_extra(self, index: int, extra) -> None:
+        if isinstance(extra, dict) and "sample_seconds" in extra:
+            self._worker_seconds[index] = float(extra["sample_seconds"])
+
+    def _on_worker_death(self, death: _WorkerDeath) -> None:
+        if self._worker_dead[death.index]:
+            return
+        self._worker_dead[death.index] = True
+        self._reshard_needed = True
+        self.recovery_events.append(
+            RecoveryEvent(
+                kind="rank_death",
+                iteration=self._last_iteration,
+                rank=death.rank,
+                detail=str(death),
             )
-        return reply
+        )
+        if death.worker_traceback:
+            self.recovery_events.append(
+                RecoveryEvent(
+                    kind="worker_error",
+                    iteration=self._last_iteration,
+                    rank=death.rank,
+                    detail=death.worker_traceback,
+                )
+            )
+
+    def _any_alive(self) -> bool:
+        return any(not dead for dead in self._worker_dead)
+
+    def _adopt_view(self, group: int, rank: int) -> ShardView:
+        key = (group, rank)
+        view = self._adopt_views.get(key)
+        if view is None:
+            plan = self.plans[group]
+            view = ShardView(plan.provider, plan.shards[rank])
+            self._adopt_views[key] = view
+        return view
+
+    def _apply_layout(
+        self,
+        weights: Optional[Sequence[float]],
+        kind: str,
+        detail: str = "",
+    ) -> bool:
+        """Reshard every plan over the live ranks; notify the workers.
+
+        Only legal between chunks (the buffer must be drained): every
+        buffered entry was streamed under the old layout and must be
+        consumed under it.
+        """
+        exclude = [
+            index + 1
+            for index, dead in enumerate(self._worker_dead)
+            if dead
+        ]
+        counts_before = _plan_shard_counts(self.plans, self.n_ranks)
+        changed = False
+        for plan in self.plans:
+            new = plan.decomposition.rebalance(weights, exclude)
+            if new.counts() != plan.decomposition.counts():
+                changed = True
+            plan.decomposition = new
+            plan.shards = [
+                plan.locations[new.slice_for(r)]
+                for r in range(self.n_ranks)
+            ]
+        if kind == "rebalance" and not changed:
+            return False
+        self._views0 = [
+            ShardView(plan.provider, plan.shards[0]) for plan in self.plans
+        ]
+        self._adopt_views.clear()
+        for index in range(len(self._conns)):
+            if self._worker_dead[index]:
+                continue
+            try:
+                self._post(
+                    index,
+                    (
+                        "reshard",
+                        [plan.shards[index + 1] for plan in self.plans],
+                    ),
+                )
+            except _WorkerDeath as death:
+                if not self.elastic:
+                    raise
+                # Its freshly-assigned shard will be resampled by rank
+                # 0 until the next chunk boundary reshards again.
+                self._on_worker_death(death)
+        self._rb_samples = list(self._rank_samples)
+        self._rb_seconds = [self._rank0_seconds] + list(
+            self._worker_seconds
+        )
+        self.recovery_events.append(
+            RecoveryEvent(
+                kind=kind,
+                iteration=self._last_iteration,
+                detail=detail,
+                counts_before=counts_before,
+                counts_after=_plan_shard_counts(self.plans, self.n_ranks),
+                resampled_iterations=(
+                    self._resampled_total - self._resampled_marked
+                ),
+            )
+        )
+        self._resampled_marked = self._resampled_total
+        return True
+
+    def _maybe_rebalance(self) -> None:
+        counts = _plan_shard_counts(self.plans, self.n_ranks)
+        weights, skew = _rebalance_weights(
+            counts,
+            [
+                self._rank_samples[r] - self._rb_samples[r]
+                for r in range(self.n_ranks)
+            ],
+            [
+                second - snapshot
+                for second, snapshot in zip(
+                    [self._rank0_seconds] + list(self._worker_seconds),
+                    self._rb_seconds,
+                )
+            ],
+            [False] + list(self._worker_dead),
+            self.rebalance_threshold,
+        )
+        if weights is None:
+            return
+        self._apply_layout(
+            weights,
+            "rebalance",
+            detail=(
+                f"sample-time skew {skew:.2f} > "
+                f"{self.rebalance_threshold:g}"
+            ),
+        )
+
+    def _pre_chunk_reshard(self) -> None:
+        """Apply deferred layout changes at a chunk boundary."""
+        if self._reshard_needed:
+            self._reshard_needed = False
+            dead = [
+                index + 1
+                for index, flag in enumerate(self._worker_dead)
+                if flag
+            ]
+            self._apply_layout(
+                None,
+                "reshard",
+                detail=(
+                    f"rank(s) {dead} dead; window re-sharded over "
+                    "survivors"
+                ),
+            )
+        elif (
+            self.rebalance_enabled
+            and self._chunks_since_check >= self.rebalance_every
+        ):
+            self._chunks_since_check = 0
+            self._maybe_rebalance()
 
     def _prefetch(self, active: Sequence[int]) -> None:
+        self._pre_chunk_reshard()
         frozen = tuple(sorted(active))
+        posted = []
         for index in range(len(self._conns)):
-            self._post(index, ("advance", self.chunk, frozen))
-        payloads = [
-            self._receivers[index].decode(self._recv(index, "rows"))
-            for index in range(len(self._conns))
-        ]
-        lengths = {len(p) for p in payloads}
-        if len(lengths) > 1:
-            raise CommunicatorError(
-                f"worker replicas diverged: chunk lengths {sorted(lengths)}"
-            )
-        for entries in zip(*payloads):
-            iterations = {it for it, _ in entries}
-            if len(iterations) > 1:
-                raise CommunicatorError(
-                    f"worker replicas diverged: iterations {sorted(iterations)}"
+            if self._worker_dead[index]:
+                continue
+            try:
+                self._post(index, ("advance", self.chunk, frozen))
+                posted.append(index)
+            except _WorkerDeath as death:
+                if not self.elastic:
+                    raise
+                self._on_worker_death(death)
+        payloads: Dict[int, list] = {}
+        for index in posted:
+            try:
+                payloads[index] = self._receivers[index].decode(
+                    self._recv(index, "rows")
                 )
-            self._buffer.append(
-                (entries[0][0], [parts for _, parts in entries])
-            )
+            except _WorkerDeath as death:
+                if not self.elastic:
+                    raise
+                self._on_worker_death(death)
+        if payloads:
+            lengths = {len(p) for p in payloads.values()}
+            if len(lengths) > 1:
+                raise CommunicatorError(
+                    f"worker replicas diverged: chunk lengths "
+                    f"{sorted(lengths)}"
+                )
+            n_workers = len(self._conns)
+            for step in range(lengths.pop()):
+                entry_iteration = None
+                parts_by_worker: List[Optional[list]] = [None] * n_workers
+                for index, payload in payloads.items():
+                    it, parts = payload[step]
+                    if entry_iteration is None:
+                        entry_iteration = it
+                    elif it != entry_iteration:
+                        raise CommunicatorError(
+                            "worker replicas diverged: iterations "
+                            f"{sorted({it, entry_iteration})}"
+                        )
+                    parts_by_worker[index] = parts
+                    for part in parts:
+                        if part is not None:
+                            self._rank_samples[index + 1] += int(
+                                part.shape[0]
+                            )
+                self._buffer.append((entry_iteration, parts_by_worker))
         self._chunk_active = frozen
+        self._chunks_since_check += 1
 
     def advance(
         self, iteration: int, active: Sequence[int]
     ) -> Dict[int, np.ndarray]:
         if self._conns and not self._buffer:
-            self._prefetch(active)
+            if self._any_alive():
+                self._prefetch(active)
+            else:
+                # Every worker is gone: rank 0 adopts the whole window
+                # (the reshard empties the dead shards) and runs solo.
+                self._pre_chunk_reshard()
         tick = time.perf_counter()
         self.app.step()
         self.last_step_seconds = time.perf_counter() - tick
-        if self._conns:
+        if self._buffer:
             buffered_iteration, worker_parts = self._buffer.popleft()
             if buffered_iteration != iteration:
                 raise CommunicatorError(
@@ -547,11 +1226,13 @@ class MultiprocessExecutor:
                 )
             chunk_active = self._chunk_active
         else:
-            worker_parts = []
+            worker_parts = [None] * len(self._conns)
             chunk_active = tuple(sorted(active))
         domain = self.app.domain
         rows: Dict[int, np.ndarray] = {}
         consumed = set(active)
+        resampled_here = False
+        rank0_samples = 0
         for g in chunk_active:
             plan = self.plans[g]
             if not plan.temporal.matches(iteration):
@@ -559,8 +1240,25 @@ class MultiprocessExecutor:
             tick = time.perf_counter()
             part0 = self._views0[g].sample(domain)
             self._rank0_seconds += time.perf_counter() - tick
+            rank0_samples += int(part0.shape[0])
             parts = [part0]
-            for worker in worker_parts:
+            for w, worker in enumerate(worker_parts):
+                rank = w + 1
+                if worker is None:
+                    # Dead rank: its shard columns are re-sampled by
+                    # rank 0 from the live app — bit-identical, the
+                    # replicas are deterministic.
+                    shard = plan.shards[rank]
+                    if shard.shape[0]:
+                        tick = time.perf_counter()
+                        part = self._adopt_view(g, rank).sample(domain)
+                        self._rank0_seconds += time.perf_counter() - tick
+                        rank0_samples += int(part.shape[0])
+                        resampled_here = True
+                    else:
+                        part = _EMPTY_SHARD
+                    parts.append(part)
+                    continue
                 if worker[g] is None:
                     raise CommunicatorError(
                         f"worker replicas diverged: no shard row for group "
@@ -574,17 +1272,37 @@ class MultiprocessExecutor:
                         self._rank_stats[rank][g].update(
                             part.reshape(-1, 1)
                         )
+        if self._delay0 is not None and rows:
+            tick = time.perf_counter()
+            time.sleep(self._delay0.seconds_for(rank0_samples))
+            self._rank0_seconds += time.perf_counter() - tick
+        self._rank_samples[0] += rank0_samples
+        if resampled_here:
+            self._resampled_total += 1
+        self._last_iteration = iteration
         return rows
+
+    @property
+    def resampled_iterations(self) -> int:
+        """Iterations where rank 0 backfilled a dead rank's shard."""
+        return self._resampled_total
 
     def _finish_workers(self) -> None:
         if self._worker_stats is not None or not self._conns:
             if self._worker_stats is None:
                 self._worker_stats = []
             return
-        stats = []
+        stats: List[Optional[dict]] = [None] * len(self._conns)
         for index in range(len(self._conns)):
-            self._post(index, ("finish",))
-            stats.append(self._recv(index, "stats")[1])
+            if self._worker_dead[index]:
+                continue
+            try:
+                self._post(index, ("finish",))
+                stats[index] = self._recv(index, "stats")[1]
+            except _WorkerDeath as death:
+                if not self.elastic:
+                    raise
+                self._on_worker_death(death)
         self._worker_stats = stats
         for process in self._processes:
             process.join(timeout=10.0)
@@ -600,11 +1318,17 @@ class MultiprocessExecutor:
 
     def rank_sample_seconds(self) -> np.ndarray:
         self._finish_workers()
-        return np.array(
-            [self._rank0_seconds]
-            + [s["sample_seconds"] for s in self._worker_stats or []],
-            dtype=np.float64,
-        )
+        seconds = [self._rank0_seconds]
+        for index, stats in enumerate(self._worker_stats or []):
+            if stats is None:
+                # Died before handing over its ledger; the parent-side
+                # running total is the best (under-)estimate we have,
+                # but mark it NaN so nobody mistakes it for a
+                # measurement of a full run.
+                seconds.append(float("nan"))
+            else:
+                seconds.append(float(stats["sample_seconds"]))
+        return np.array(seconds, dtype=np.float64)
 
     def transport_stats(self) -> Dict[str, object]:
         """Per-rank serialization/transfer seconds and bytes moved.
@@ -625,6 +1349,19 @@ class MultiprocessExecutor:
         ]
         for index, stats in enumerate(self._worker_stats or []):
             receiver = self._receivers[index]
+            if stats is None:
+                # A dead worker's serializer counters died with it; the
+                # receiver-side counters survive in the parent.
+                per_rank.append(
+                    {
+                        "rank": index + 1,
+                        "bytes_moved": int(receiver.counters.bytes_moved),
+                        "serialize_seconds": 0.0,
+                        "transfer_seconds": float(receiver.counters.seconds),
+                        "died": True,
+                    }
+                )
+                continue
             per_rank.append(
                 {
                     "rank": index + 1,
@@ -700,10 +1437,20 @@ class DistributedResult(EngineResult):
 
     @property
     def max_rank_sample_seconds(self) -> float:
-        """Sampling wall time of the slowest rank (0.0 with no ranks)."""
+        """Sampling wall time of the slowest rank (0.0 with no ranks).
+
+        Ranks that died mid-run report NaN in ``rank_sample_seconds``
+        (their ledger died with them); they are excluded here rather
+        than poisoning the maximum.
+        """
         if self.rank_sample_seconds is None or not self.rank_sample_seconds.size:
             return 0.0
-        return float(self.rank_sample_seconds.max())
+        finite = self.rank_sample_seconds[
+            np.isfinite(self.rank_sample_seconds)
+        ]
+        if not finite.size:
+            return 0.0
+        return float(finite.max())
 
 
 class DistributedEngine:
@@ -754,6 +1501,28 @@ class DistributedEngine:
         pickled-payload pipe), or ``"auto"`` (the default: shared
         memory when the platform supports it, pickle otherwise).  See
         :mod:`repro.engine.transport`.
+    faults:
+        Optional :class:`~repro.engine.faults.FaultPlan` (or its spec
+        string) of deterministic failures to inject — rank kills,
+        per-rank slowdowns, one-shot transport drops.  Validated
+        against the rank count and backend at construction.
+    elastic:
+        When ``True`` (default) a dead rank's shard is re-sharded over
+        the survivors and the run continues; when ``False`` a rank
+        death raises :class:`CommunicatorError` immediately (the
+        pre-elastic behaviour).
+    rebalance:
+        Enable skew-triggered rebalancing: between chunks, per-rank
+        sample-seconds are compared and window slices migrate away from
+        slow ranks when the max/mean skew exceeds
+        ``rebalance_threshold``.
+    rebalance_threshold:
+        Sample-time skew (max over mean, > 1) that triggers a
+        migration.  The default 1.75 includes enough hysteresis that
+        balanced runs never churn.
+    rebalance_every:
+        Iterations (simcomm) or worker chunks (multiprocessing)
+        between skew checks; defaults to 8 (simcomm) / 2 (chunks).
     """
 
     def __init__(
@@ -770,6 +1539,11 @@ class DistributedEngine:
         cadence=None,
         chunk: int = 8,
         transport: str = TRANSPORT_AUTO,
+        faults: Union[None, str, "FaultPlan"] = None,
+        elastic: bool = True,
+        rebalance: bool = False,
+        rebalance_threshold: float = 1.75,
+        rebalance_every: Optional[int] = None,
         name: str = "distributed-engine",
     ) -> None:
         if backend not in BACKENDS:
@@ -792,6 +1566,22 @@ class DistributedEngine:
         self.name = name
         self.record_timings = record_timings
         self.chunk = chunk
+        self.faults = as_fault_plan(faults)
+        self.elastic = bool(elastic)
+        self.rebalance = bool(rebalance)
+        if not rebalance_threshold > 1.0:
+            raise ConfigurationError(
+                "rebalance_threshold is a max-over-mean skew and must be "
+                f"> 1, got {rebalance_threshold!r}"
+            )
+        self.rebalance_threshold = float(rebalance_threshold)
+        if rebalance_every is None:
+            rebalance_every = 8 if backend == BACKEND_SIMCOMM else 2
+        if int(rebalance_every) <= 0:
+            raise ConfigurationError(
+                f"rebalance_every must be positive, got {rebalance_every}"
+            )
+        self.rebalance_every = int(rebalance_every)
         # Resolved eagerly so a bad name (or an explicit shared-memory
         # request on a platform without it) fails at construction, and
         # so results report the concrete transport, never "auto".
@@ -835,6 +1625,8 @@ class DistributedEngine:
                 )
             self.comm = None
             self.n_ranks = int(n_ranks)
+        if self.faults is not None:
+            self.faults.validate_for(self.n_ranks, self.backend)
         stop_reducer = None
         if self.comm is not None:
             comm_ref = self.comm
@@ -914,7 +1706,16 @@ class DistributedEngine:
         self, plans: Sequence[GroupPlan], limit: int
     ) -> Executor:
         if self.backend == BACKEND_SIMCOMM:
-            return SimCommExecutor(self.app, plans, self.comm)
+            return SimCommExecutor(
+                self.app,
+                plans,
+                self.comm,
+                faults=self.faults,
+                elastic=self.elastic,
+                rebalance=self.rebalance,
+                rebalance_threshold=self.rebalance_threshold,
+                rebalance_every=self.rebalance_every,
+            )
         return MultiprocessExecutor(
             self.app,
             plans,
@@ -923,12 +1724,23 @@ class DistributedEngine:
             max_iterations=limit,
             chunk=self.chunk,
             transport=self.transport,
+            faults=self.faults,
+            elastic=self.elastic,
+            rebalance=self.rebalance,
+            rebalance_threshold=self.rebalance_threshold,
+            rebalance_every=self.rebalance_every,
         )
 
     def _finalize_result(self, base: dict, executor: Executor) -> "DistributedResult":
         """Extend the driver's base result with the rank dimension."""
         collection_stats = executor.reduce_stats()
         rank_seconds = executor.rank_sample_seconds()
+        # reduce_stats() drains the workers, which can surface a late
+        # death; re-snapshot the events the driver captured earlier.
+        base = dict(base)
+        base["recovery_events"] = list(
+            getattr(executor, "recovery_events", None) or []
+        )
         return DistributedResult(
             **base,
             n_ranks=self.n_ranks,

@@ -230,6 +230,11 @@ class EngineResult:
     serialization/transfer seconds and bytes moved; ``"simcomm"`` with
     no stats for the modelled backend).  Serial runs move rows
     in-process and leave both ``None``.
+
+    ``recovery_events`` is the elasticity audit trail: one
+    :class:`~repro.engine.faults.RecoveryEvent` per rank death,
+    reshard, rebalance migration or transport drop/resend the run
+    survived, in order.  Empty for fault-free, balanced runs.
     """
 
     iterations: int
@@ -242,6 +247,7 @@ class EngineResult:
     cadence: Optional[Dict[str, object]] = None
     transport: Optional[str] = None
     transport_stats: Optional[Dict[str, object]] = None
+    recovery_events: List[object] = field(default_factory=list)
 
     def seconds_at(self, iteration: int) -> float:
         """Cumulative *simulation-step* wall time up to ``iteration``.
@@ -480,6 +486,9 @@ class ExecutionDriver:
                 ),
                 analysis_seconds=self.scheduler.analysis_seconds(),
                 cadence=cadence.report() if cadence is not None else None,
+                recovery_events=list(
+                    getattr(executor, "recovery_events", None) or []
+                ),
             )
             if self.finalize_result is not None:
                 return self.finalize_result(base, executor)

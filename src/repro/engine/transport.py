@@ -400,20 +400,26 @@ class TransportCounters:
 
 
 class PickleRowSender:
-    """Worker side of the legacy pipe transport: one pickle per chunk."""
+    """Worker side of the legacy pipe transport: one pickle per chunk.
+
+    ``extra`` rides the ack tuple as a third element — a small plain
+    dict of worker-side bookkeeping (cumulative sample seconds, fault
+    markers) that both transports deliver identically, keeping the
+    elastic executor transport-agnostic.
+    """
 
     transport = TRANSPORT_PICKLE
 
     def __init__(self) -> None:
         self.counters = TransportCounters()
 
-    def send(self, conn, payload: ChunkPayload) -> None:
+    def send(self, conn, payload: ChunkPayload, extra=None) -> None:
         tick = time.perf_counter()
         blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
         self.counters.seconds += time.perf_counter() - tick
         self.counters.bytes_moved += len(blob)
         self.counters.records += len(payload)
-        conn.send(("rows", blob))
+        conn.send(("rows", blob, extra))
 
     def close(self) -> None:
         pass
@@ -455,7 +461,7 @@ class ShmRowSender:
         self.ring = ring
         self.counters = TransportCounters()
 
-    def send(self, conn, payload: ChunkPayload) -> None:
+    def send(self, conn, payload: ChunkPayload, extra=None) -> None:
         tick = time.perf_counter()
         self.ring.begin_chunk()
         records = 0
@@ -470,7 +476,7 @@ class ShmRowSender:
         self.counters.seconds += time.perf_counter() - tick
         self.counters.bytes_moved += moved
         self.counters.records += records
-        conn.send(("rows", records))
+        conn.send(("rows", records, extra))
 
     def close(self) -> None:
         self.ring.close()

@@ -5,12 +5,21 @@ are 1x1x1, 2x2x2 and 3x3x3).  For the radial feature-extraction view
 the relevant mapping is one dimension: which rank owns a given radial
 location, because that rank is the "MPI rank indicating the location of
 the wave front" in the status broadcasts.
+
+:class:`BlockDecomposition` starts uniform (near-equal contiguous
+blocks) but is *elastic*: :meth:`BlockDecomposition.rebalance` derives
+a new decomposition over the same index space with per-rank weights
+(heterogeneous hardware) and/or excluded ranks (a dead worker), keeping
+the core invariant — every rank owns one contiguous block, blocks are
+ascending in rank order, and their concatenation covers every index
+exactly once — so the distributed row assembly (a concatenation of
+shard rows in rank order) survives any resharding unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,12 +51,43 @@ def processor_grid(n_ranks: int) -> Tuple[int, int, int]:
     return tuple(sorted(best))  # type: ignore[return-value]
 
 
+def _proportional_counts(
+    n_items: int, weights: Sequence[float]
+) -> List[int]:
+    """Integer counts summing to ``n_items``, proportional to ``weights``.
+
+    Largest-remainder (Hamilton) apportionment with deterministic
+    tie-breaking by rank index, so equal weights over P ranks reproduce
+    the uniform block split to within one item per rank.
+    """
+    total = float(sum(weights))
+    exact = [n_items * w / total for w in weights]
+    counts = [int(np.floor(x)) for x in exact]
+    remainder = n_items - sum(counts)
+    by_fraction = sorted(
+        range(len(weights)),
+        key=lambda r: (counts[r] + 1 - exact[r], r),
+    )
+    for r in by_fraction[:remainder]:
+        counts[r] += 1
+    return counts
+
+
 @dataclass(frozen=True)
 class BlockDecomposition:
-    """1-D block split of ``n_items`` locations over ``n_ranks`` ranks."""
+    """Contiguous 1-D split of ``n_items`` locations over ``n_ranks`` ranks.
+
+    With no explicit ``boundaries`` the split is uniform: every rank
+    owns ``n_items // n_ranks`` items, the first ``n_items % n_ranks``
+    ranks one extra.  :meth:`rebalance` produces decompositions with
+    explicit boundaries — rank ``r`` owns the half-open range
+    ``[boundaries[r], boundaries[r + 1])``, possibly empty (a dead or
+    de-weighted rank).
+    """
 
     n_items: int
     n_ranks: int
+    boundaries: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if self.n_items <= 0:
@@ -58,6 +98,23 @@ class BlockDecomposition:
             raise ConfigurationError(
                 f"n_ranks must be positive, got {self.n_ranks}"
             )
+        if self.boundaries is not None:
+            bounds = tuple(int(b) for b in self.boundaries)
+            if len(bounds) != self.n_ranks + 1:
+                raise ConfigurationError(
+                    f"boundaries must have n_ranks + 1 = {self.n_ranks + 1} "
+                    f"entries, got {len(bounds)}"
+                )
+            if bounds[0] != 0 or bounds[-1] != self.n_items:
+                raise ConfigurationError(
+                    f"boundaries must span [0, {self.n_items}], got "
+                    f"[{bounds[0]}, {bounds[-1]}]"
+                )
+            if any(b > c for b, c in zip(bounds, bounds[1:])):
+                raise ConfigurationError(
+                    f"boundaries must be non-decreasing, got {bounds}"
+                )
+            object.__setattr__(self, "boundaries", bounds)
 
     def owner(self, index: int) -> int:
         """Rank owning location ``index`` (0-based)."""
@@ -65,6 +122,16 @@ class BlockDecomposition:
             raise ConfigurationError(
                 f"index {index} out of range [0, {self.n_items})"
             )
+        if self.boundaries is not None:
+            # The owning rank is the last one whose block starts at or
+            # before the index; empty blocks share a boundary and never
+            # win the search.
+            position = int(
+                np.searchsorted(
+                    np.asarray(self.boundaries[1:]), index, side="right"
+                )
+            )
+            return position
         base = self.n_items // self.n_ranks
         extra = self.n_items % self.n_ranks
         # First `extra` ranks own (base + 1) items each.
@@ -79,6 +146,8 @@ class BlockDecomposition:
             raise ConfigurationError(
                 f"rank {rank} out of range [0, {self.n_ranks})"
             )
+        if self.boundaries is not None:
+            return slice(self.boundaries[rank], self.boundaries[rank + 1])
         base = self.n_items // self.n_ranks
         extra = self.n_items % self.n_ranks
         start = rank * base + min(rank, extra)
@@ -97,3 +166,68 @@ class BlockDecomposition:
         return np.array(
             [self.owner(i) for i in range(self.n_items)], dtype=np.int64
         )
+
+    def rebalance(
+        self,
+        weights: Optional[Sequence[float]] = None,
+        exclude: Iterable[int] = (),
+    ) -> "BlockDecomposition":
+        """A new decomposition of the same index space, reweighted.
+
+        ``weights`` gives each rank's relative throughput (items it
+        should own per unit of the others'); ``None`` means equal
+        weight for every surviving rank.  ``exclude`` names dead ranks,
+        which end up owning empty blocks — their former items flow to
+        the survivors.  The result keeps the contiguous-ascending-block
+        invariant: surviving ranks receive contiguous runs in rank
+        order, so shard-row concatenation in rank order still yields
+        the full window.
+
+        Counts are apportioned by largest remainder with ties broken by
+        rank index, so the result is deterministic, conserves every
+        index exactly once, and ``rebalance()`` with equal weights and
+        no exclusions reproduces a near-uniform split.
+        """
+        excluded = set(int(r) for r in exclude)
+        for r in excluded:
+            if not 0 <= r < self.n_ranks:
+                raise ConfigurationError(
+                    f"cannot exclude rank {r}: out of range "
+                    f"[0, {self.n_ranks})"
+                )
+        survivors = [r for r in range(self.n_ranks) if r not in excluded]
+        if not survivors:
+            raise ConfigurationError(
+                "cannot rebalance with every rank excluded"
+            )
+        if weights is None:
+            survivor_weights = [1.0] * len(survivors)
+        else:
+            weights = list(weights)
+            if len(weights) != self.n_ranks:
+                raise ConfigurationError(
+                    f"need one weight per rank ({self.n_ranks}), "
+                    f"got {len(weights)}"
+                )
+            survivor_weights = []
+            for r in survivors:
+                w = float(weights[r])
+                if not np.isfinite(w) or w < 0.0:
+                    raise ConfigurationError(
+                        f"weights must be finite and non-negative, got "
+                        f"{weights[r]!r} for rank {r}"
+                    )
+                survivor_weights.append(w)
+            if sum(survivor_weights) <= 0.0:
+                raise ConfigurationError(
+                    "surviving ranks carry zero total weight; cannot "
+                    "apportion the window"
+                )
+        survivor_counts = _proportional_counts(
+            self.n_items, survivor_weights
+        )
+        counts = [0] * self.n_ranks
+        for r, count in zip(survivors, survivor_counts):
+            counts[r] = count
+        boundaries = tuple(np.cumsum([0] + counts).tolist())
+        return BlockDecomposition(self.n_items, self.n_ranks, boundaries)

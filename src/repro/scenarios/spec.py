@@ -53,7 +53,9 @@ from repro.engine import (
     CadencePolicy,
     DistributedEngine,
     EngineResult,
+    FaultPlan,
     InSituEngine,
+    as_fault_plan,
 )
 from repro.errors import ConfigurationError, ScenarioError
 
@@ -386,6 +388,8 @@ class ScenarioRun:
     seconds: float
     crosscheck: Optional[Dict[str, object]] = None
     adaptive: bool = False
+    faults: Optional[FaultPlan] = None
+    rebalance: bool = False
 
     @property
     def error(self) -> float:
@@ -427,6 +431,12 @@ class ScenarioRun:
             "tolerance": self.tolerance,
             "seconds": self.seconds,
             "cadence": self.result.cadence,
+            "faults": self.faults.to_spec() if self.faults else None,
+            "rebalance": self.rebalance,
+            "recovery_events": [
+                event.to_json()
+                for event in getattr(self.result, "recovery_events", [])
+            ],
             "crosscheck": self.crosscheck,
             "ok": self.ok,
         }
@@ -488,6 +498,8 @@ def run_scenario(
     params: Optional[Mapping] = None,
     crosscheck: Optional[bool] = None,
     max_iterations: Optional[int] = None,
+    faults: Union[None, str, FaultPlan] = None,
+    rebalance: bool = False,
 ) -> ScenarioRun:
     """Resolve ``name`` and run it end to end (build, run, validate).
 
@@ -509,12 +521,29 @@ def run_scenario(
     ``adaptive``, so an adaptive distributed run is compared against
     an adaptive serial run (the cadence decisions are deterministic,
     so agreement is still exact).
+
+    ``faults`` injects a deterministic
+    :class:`~repro.engine.faults.FaultPlan` (or its ``--faults`` spec
+    string) into the distributed run — rank kills, slowdowns, transport
+    drops — and ``rebalance`` enables skew-triggered shard migration;
+    both are distributed-only (a serial run has no ranks to kill or
+    rebalance).  Faulted runs stay bit-identical to serial (dead shards
+    are resampled from rank 0's deterministic replica), so the
+    cross-check and its :data:`DIVERGENCE_TOL` bound apply unchanged;
+    the recovery audit trail lands in ``to_json()['recovery_events']``.
     """
     spec = get(name)
     backend = resolve_backend(backend)
     transport = resolve_transport_name(transport)
+    fault_plan = as_fault_plan(faults)
     if n_ranks <= 0:
         raise ScenarioError(f"n_ranks must be positive, got {n_ranks}")
+    if n_ranks == 1 and (fault_plan is not None or rebalance):
+        raise ScenarioError(
+            "faults/rebalance only apply to distributed runs "
+            "(n_ranks > 1); a serial run has no ranks to kill, slow or "
+            "rebalance"
+        )
     if transport != TRANSPORT_AUTO and (
         n_ranks == 1 or backend != BACKEND_MULTIPROCESSING
     ):
@@ -572,6 +601,8 @@ def run_scenario(
                 policy=spec.policy,
                 quorum=spec.quorum,
                 transport=transport,
+                faults=fault_plan,
+                rebalance=rebalance,
                 name=name,
             )
         else:
@@ -582,6 +613,8 @@ def run_scenario(
                 policy=spec.policy,
                 quorum=spec.quorum,
                 cadence=spec.cadence_controller() if adaptive else None,
+                faults=fault_plan,
+                rebalance=rebalance,
                 name=name,
             )
         analyses = [
@@ -625,4 +658,6 @@ def run_scenario(
         seconds=seconds,
         crosscheck=report,
         adaptive=adaptive,
+        faults=fault_plan,
+        rebalance=rebalance,
     )

@@ -7,9 +7,6 @@ scenarios, and the multiprocessing backend must match on a replayed
 scenario with real worker processes.
 """
 
-import os
-import signal
-
 import numpy as np
 import pytest
 
@@ -395,37 +392,23 @@ class TestMultiprocessingBackend:
 
     @pytest.mark.parametrize("transport", TRANSPORT_CASES)
     def test_worker_death_raises_instead_of_hanging(self, transport):
+        # Deterministic: a FaultPlan kills rank 1 (exit code 117) the
+        # moment its replica reaches iteration 16 — no sleep/SIGKILL
+        # race against the prefetch pipeline.
         engine = DistributedEngine(
             backend="multiprocessing",
             n_ranks=2,
             app_factory=_replay_app,
             chunk=8,
             transport=transport,
+            faults="kill:rank=1,iter=16",
+            elastic=False,
         )
         engine.add_analysis(_replay_analysis())
-        plans = plan_groups(engine.scheduler.shared, 2)
-        executor = MultiprocessExecutor(
-            engine.app,
-            plans,
-            n_ranks=2,
-            app_factory=_replay_app,
-            max_iterations=120,
-            chunk=8,
-            transport=transport,
-        )
-        executor.start()
-        try:
-            victim = executor._processes[0]
-            os.kill(victim.pid, signal.SIGKILL)
-            victim.join(timeout=10.0)
-            with pytest.raises(CommunicatorError, match="worker rank 1 died"):
-                # One prefetch per attempt: the first may still drain a
-                # reply the worker sent before dying, the next must see
-                # the corpse.  Bounded, so a hang fails the test.
-                for _ in range(4):
-                    executor._prefetch([0])
-        finally:
-            executor.close()
+        with pytest.raises(CommunicatorError, match="worker rank 1 died"):
+            engine.run(max_iterations=120)
+        executor = engine.executor
+        assert executor is not None
         assert executor._processes == []
 
     @pytest.mark.parametrize("transport", TRANSPORT_CASES)

@@ -282,3 +282,86 @@ class TestBlockDecomposition:
         assert owners.shape == (10,)
         assert owners[0] == 0
         assert owners[-1] == 2
+
+
+class TestRebalance:
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 8),
+        st.data(),
+    )
+    @settings(max_examples=60)
+    def test_conservation_every_index_owned_once(
+        self, n_items, n_ranks, data
+    ):
+        decomp = BlockDecomposition(n_items, n_ranks)
+        exclude = data.draw(
+            st.lists(
+                st.integers(0, n_ranks - 1),
+                max_size=n_ranks - 1,
+                unique=True,
+            )
+        )
+        new = decomp.rebalance(exclude=exclude)
+        counts = new.counts()
+        assert sum(counts) == n_items
+        # Contiguous ascending blocks: concatenating slices in rank
+        # order covers [0, n_items) exactly once.
+        cursor = 0
+        for rank in range(n_ranks):
+            s = new.slice_for(rank)
+            assert s.start == cursor
+            cursor = s.stop
+        assert cursor == n_items
+        for index in range(n_items):
+            owner = new.owner(index)
+            s = new.slice_for(owner)
+            assert s.start <= index < s.stop
+
+    def test_excluded_ranks_own_nothing(self):
+        decomp = BlockDecomposition(20, 4)
+        new = decomp.rebalance(exclude=[1, 3])
+        counts = new.counts()
+        assert counts[1] == 0 and counts[3] == 0
+        assert counts[0] == 10 and counts[2] == 10
+        for index in range(20):
+            assert new.owner(index) in (0, 2)
+
+    def test_weight_proportional_split(self):
+        decomp = BlockDecomposition(100, 4)
+        new = decomp.rebalance(weights=[3.0, 1.0, 1.0, 0.0])
+        assert new.counts() == [60, 20, 20, 0]
+
+    def test_weights_with_exclusion(self):
+        decomp = BlockDecomposition(30, 3)
+        new = decomp.rebalance(weights=[2.0, 5.0, 1.0], exclude=[1])
+        assert new.counts() == [20, 0, 10]
+
+    def test_equal_weights_match_uniform(self):
+        decomp = BlockDecomposition(23, 5)
+        assert decomp.rebalance().counts() == decomp.counts()
+
+    def test_invalid_inputs_rejected(self):
+        decomp = BlockDecomposition(10, 2)
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(exclude=[5])
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(exclude=[0, 1])
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(weights=[-1.0, 1.0])
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(weights=[np.nan, 1.0])
+        with pytest.raises(ConfigurationError):
+            decomp.rebalance(weights=[0.0, 1.0], exclude=[1])
+
+    def test_boundaries_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(10, 2, boundaries=(0, 5))
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(10, 2, boundaries=(1, 5, 10))
+        with pytest.raises(ConfigurationError):
+            BlockDecomposition(10, 2, boundaries=(0, 7, 5))
+        explicit = BlockDecomposition(10, 2, boundaries=(0, 7, 10))
+        assert explicit.counts() == [7, 3]

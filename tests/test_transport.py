@@ -199,7 +199,7 @@ class TestSenderReceiverPairs:
         try:
             payload = self._payload()
             sender.send(conn, payload)
-            kind, records = conn.sent[0]
+            kind, records, _extra = conn.sent[0]
             assert kind == "rows"  # the pipe carries only the count
             assert isinstance(records, int)
             decoded = receiver.decode(conn.sent[0])
