@@ -26,6 +26,12 @@ Three legs:
     behaviour is drift snap-backs during transit and widened sampling
     on the decaying tail — a smaller but honest reduction.
 
+An untimed warmup pass (one quick heat-diffusion run) precedes the
+timed legs so allocator pools, import caches and — when the ``auto``
+kernel knob resolves to numba — JIT compilation never land inside a
+timed region; the payload records the resolved ``kernel_backend`` and
+the ``warmup_seconds`` it cost.
+
 Run directly::
 
     python benchmarks/perf_adaptive.py [--quick] \
@@ -45,6 +51,7 @@ import json
 import time
 
 from repro import scenarios
+from repro.core import kernels as kernel_registry
 from repro.core.curve_fitting import CurveFitting
 from repro.core.params import IterParam
 from repro.engine import CadenceController, CadencePolicy, InSituEngine
@@ -157,6 +164,21 @@ def bench_lulesh_wide(*, quick: bool) -> dict:
     }
 
 
+def warmup() -> "tuple[str, float]":
+    """One untimed pass before any timed leg.
+
+    Resolves the ``auto`` kernel backend (absorbing JIT compilation
+    when numba is importable) and drives one quick scenario end to end
+    so the timed runs below measure steady state.  Returns the resolved
+    backend name and the warmup wall seconds.
+    """
+    tick = time.perf_counter()
+    backend = kernel_registry.get_backend()
+    scenarios.run_scenario("heat-diffusion", quick=True)
+    scenarios.run_scenario("heat-diffusion", quick=True, adaptive=True)
+    return backend.name, time.perf_counter() - tick
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -177,6 +199,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    kernel_backend, warmup_seconds = warmup()
     results = [
         bench_scenario("heat-diffusion", quick=args.quick),
         bench_scenario("oscillator-ringdown", quick=args.quick),
@@ -197,7 +220,12 @@ def main(argv=None) -> int:
             f"{r['snapbacks']:>6}"
         )
 
-    payload = {"quick": args.quick, "scenarios": results}
+    payload = {
+        "quick": args.quick,
+        "kernel_backend": kernel_backend,
+        "warmup_seconds": round(warmup_seconds, 4),
+        "scenarios": results,
+    }
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
     print(f"\nwrote {args.output}")

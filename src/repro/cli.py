@@ -107,6 +107,7 @@ def _cmd_run(args) -> int:
         n_ranks=args.ranks,
         backend=args.backend,
         transport=args.transport,
+        kernels=args.kernels,
         quick=args.quick,
         adaptive=args.adaptive,
         params=_parse_params(args.param),
@@ -121,6 +122,7 @@ def _cmd_run(args) -> int:
         mode = f"{run.n_ranks} ranks ({run.backend})"
         if run.result.transport is not None:
             mode += f", transport={run.result.transport}"
+    mode += f", kernels={run.kernels}"
     if run.adaptive:
         mode += " + adaptive cadence"
     if run.faults is not None:
@@ -201,7 +203,7 @@ def _cmd_bench(args) -> int:
     rows: List[Dict[str, object]] = []
     failures = 0
     for name in names:
-        serial = scenarios.run_scenario(name, quick=args.quick)
+        serial = scenarios.run_scenario(name, quick=args.quick, kernels=args.kernels)
         spec = scenarios.get(name)
         transport = None
         if args.ranks > 1 and backend in spec.backends:
@@ -210,6 +212,7 @@ def _cmd_bench(args) -> int:
                 n_ranks=args.ranks,
                 backend=backend,
                 transport=args.transport,
+                kernels=args.kernels,
                 quick=args.quick,
                 crosscheck=True,
             )
@@ -240,6 +243,7 @@ def _cmd_bench(args) -> int:
                 "comm_seconds": comm_seconds,
                 "backend": backend,
                 "transport": transport,
+                "kernels": serial.kernels,
                 "error": scenarios.json_safe(serial.error),
                 "ok": ok,
             }
@@ -287,6 +291,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(set(scenarios.spec.TRANSPORT_ALIASES)),
         help="multiprocessing row transport (shm = shared_memory; "
         "auto picks shared_memory when available, else pickle)",
+    )
+    p_run.add_argument(
+        "--kernels",
+        default="auto",
+        choices=sorted(set(scenarios.spec.KERNEL_ALIASES)),
+        help="hot-loop backend (auto picks compiled numba kernels when "
+        "importable, else pure NumPy; jit/compiled = numba, "
+        "np/interpreted = numpy)",
     )
     p_run.add_argument(
         "--quick", action="store_true", help="use the spec's smoke parameters"
@@ -343,6 +355,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=sorted(set(scenarios.spec.TRANSPORT_ALIASES)),
         help="multiprocessing row transport (shm = shared_memory)",
+    )
+    p_bench.add_argument(
+        "--kernels",
+        default="auto",
+        choices=sorted(set(scenarios.spec.KERNEL_ALIASES)),
+        help="hot-loop backend for both legs (see `run --kernels`)",
     )
     p_bench.add_argument("--quick", action="store_true")
     p_bench.add_argument("--json", metavar="PATH")

@@ -1,0 +1,262 @@
+"""Numba ``@njit(cache=True)`` mirrors of the data-plane hot kernels.
+
+Import this module only through
+:func:`repro.core.kernels.get_backend` — it imports numba at module
+load and is therefore absent from any environment without the
+toolchain (Tier-1 never touches it; ``kernels="auto"`` falls back to
+the pure-NumPy twins in :mod:`repro.core.kernels`).
+
+Every function here is the straight-line-loop twin of a ``_np_*``
+implementation in :mod:`repro.core.kernels` and must keep the same
+signature and semantics.  The compiled loops accumulate left-to-right
+where NumPy sums pairwise, so results agree to rounding (the parity
+suite bounds fitted-coefficient deltas at 1e-12), not bit-for-bit.
+``cache=True`` persists the compiled artifacts on disk, so warmup
+after the first process is a cache load, not a recompile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = [
+    "gather",
+    "temporal_features",
+    "chan_update",
+    "ar_batch_update",
+    "normal_solve",
+]
+
+
+@njit(cache=True)
+def gather(values, locations):
+    """Fancy-index gather: ``values[locations]`` as one compiled loop."""
+    n = locations.shape[0]
+    out = np.empty(n, dtype=np.float64)
+    for i in range(n):
+        out[i] = values[locations[i]]
+    return out
+
+
+@njit(cache=True)
+def temporal_features(matrix, anchor, order):
+    """Most-recent-first feature windows, one row per location.
+
+    ``out[j, k] == matrix[anchor - k, j]`` — the contiguous twin of the
+    NumPy backend's ``window[::-1].T`` view.
+    """
+    width = matrix.shape[1]
+    out = np.empty((width, order), dtype=np.float64)
+    for j in range(width):
+        for k in range(order):
+            out[j, k] = matrix[anchor - k, j]
+    return out
+
+
+@njit(cache=True)
+def chan_update(mean, m2, count, rows):
+    """Chan's parallel merge of a row block into a (mean, M2) aggregate."""
+    k = rows.shape[0]
+    width = mean.shape[0]
+    if k == 0:
+        return mean.copy(), m2.copy(), count
+    block_mean = np.zeros(width, dtype=np.float64)
+    for i in range(k):
+        for j in range(width):
+            block_mean[j] += rows[i, j]
+    for j in range(width):
+        block_mean[j] /= k
+    block_m2 = np.zeros(width, dtype=np.float64)
+    for i in range(k):
+        for j in range(width):
+            diff = rows[i, j] - block_mean[j]
+            block_m2[j] += diff * diff
+    total = count + k
+    new_mean = np.empty(width, dtype=np.float64)
+    new_m2 = np.empty(width, dtype=np.float64)
+    for j in range(width):
+        delta = block_mean[j] - mean[j]
+        new_mean[j] = mean[j] + delta * (k / total)
+        new_m2[j] = m2[j] + block_m2[j] + delta * delta * (
+            count * k / total
+        )
+    return new_mean, new_m2, total
+
+
+@njit(cache=True)
+def _std(mean, m2, count):
+    """Running std with the mean-relative floor of ``RunningStats.std``."""
+    width = mean.shape[0]
+    out = np.empty(width, dtype=np.float64)
+    if count < 2:
+        for j in range(width):
+            out[j] = 1.0
+        return out
+    for j in range(width):
+        std = np.sqrt(m2[j] / (count - 1))
+        floor = 1e-3 * abs(mean[j]) + 1e-12
+        if std < floor:
+            std = floor
+        out[j] = std if std > 1e-12 else 1.0
+    return out
+
+
+@njit(cache=True)
+def ar_batch_update(
+    x,
+    y,
+    w,
+    b,
+    prior,
+    x_mean,
+    x_m2,
+    x_count,
+    y_mean,
+    y_m2,
+    y_count,
+    learning_rate,
+    epochs,
+    l2,
+    clip,
+    max_coefficient_sum,
+):
+    """Fused AR mini-batch update (see ``kernels._np_ar_batch_update``).
+
+    Folds the batch into both normalisation aggregates, standardises,
+    then runs the clipped/projected GD epochs — one compiled call per
+    mini-batch instead of ~50 interpreter round-trips.
+    """
+    k = x.shape[0]
+    order = x.shape[1]
+
+    x_mean, x_m2, x_count = chan_update(x_mean, x_m2, x_count, x)
+
+    # Fold the 1-D target block into the width-1 aggregate inline
+    # (avoids reshaping the read-only batch view).
+    new_y_mean = y_mean.copy()
+    new_y_m2 = y_m2.copy()
+    new_y_count = y_count
+    if k > 0:
+        block_mean = 0.0
+        for i in range(k):
+            block_mean += y[i]
+        block_mean /= k
+        block_m2 = 0.0
+        for i in range(k):
+            diff = y[i] - block_mean
+            block_m2 += diff * diff
+        total = y_count + k
+        delta = block_mean - y_mean[0]
+        new_y_mean[0] = y_mean[0] + delta * (k / total)
+        new_y_m2[0] = y_m2[0] + block_m2 + delta * delta * (
+            y_count * k / total
+        )
+        new_y_count = total
+    y_mean, y_m2, y_count = new_y_mean, new_y_m2, new_y_count
+
+    x_std = _std(x_mean, x_m2, x_count)
+    y_std = _std(y_mean, y_m2, y_count)
+
+    xs = np.empty((k, order), dtype=np.float64)
+    ys = np.empty(k, dtype=np.float64)
+    for i in range(k):
+        for j in range(order):
+            xs[i, j] = (x[i, j] - x_mean[j]) / x_std[j]
+        ys[i] = (y[i] - y_mean[0]) / y_std[0]
+
+    w = w.copy()
+    b = float(b)
+
+    pre_sq = 0.0
+    for i in range(k):
+        r = b - ys[i]
+        for j in range(order):
+            r += xs[i, j] * w[j]
+        pre_sq += r * r
+    pre_mse = pre_sq / k if k > 0 else np.nan
+
+    residual = np.empty(k, dtype=np.float64)
+    grad_w = np.empty(order, dtype=np.float64)
+    for _ in range(epochs):
+        residual_sum = 0.0
+        for i in range(k):
+            r = b - ys[i]
+            for j in range(order):
+                r += xs[i, j] * w[j]
+            residual[i] = r
+            residual_sum += r
+        for j in range(order):
+            g = 0.0
+            for i in range(k):
+                g += xs[i, j] * residual[i]
+            grad_w[j] = 2.0 * g / k + 2.0 * l2 * (w[j] - prior[j])
+        grad_b = 2.0 * (residual_sum / k)
+        sq = grad_b * grad_b
+        for j in range(order):
+            sq += grad_w[j] * grad_w[j]
+        norm = np.sqrt(sq)
+        if norm > clip:
+            scale = clip / norm
+            for j in range(order):
+                grad_w[j] *= scale
+            grad_b *= scale
+        for j in range(order):
+            w[j] -= learning_rate * grad_w[j]
+        b -= learning_rate * grad_b
+        if max_coefficient_sum > 0.0:
+            total = 0.0
+            prior_total = 0.0
+            for j in range(order):
+                scale_j = y_std[0] / x_std[j]
+                total += w[j] * scale_j
+                prior_total += prior[j] * scale_j
+            if total > max_coefficient_sum:
+                deviation_total = total - prior_total
+                if (
+                    deviation_total <= 0.0
+                    or prior_total >= max_coefficient_sum
+                ):
+                    shrink_all = max_coefficient_sum / total
+                    for j in range(order):
+                        w[j] *= shrink_all
+                else:
+                    shrink = (
+                        max_coefficient_sum - prior_total
+                    ) / deviation_total
+                    for j in range(order):
+                        w[j] = prior[j] + shrink * (w[j] - prior[j])
+
+    return w, b, pre_mse, x_mean, x_m2, x_count, y_mean, y_m2, y_count
+
+
+@njit(cache=True)
+def normal_solve(xs, ys, prior, l2):
+    """Normal-equation accumulation + ridge solve (``ARModel.fit_exact``).
+
+    Accumulates the Gram matrix of the intercept-augmented design in
+    one pass over the block, applies the intercept-skipping ridge
+    shrinkage toward the persistence prior, and solves by LAPACK
+    least squares — identical semantics to the NumPy twin.
+    """
+    k = xs.shape[0]
+    order = xs.shape[1]
+    m = order + 1
+    gram = np.zeros((m, m), dtype=np.float64)
+    rhs = np.zeros(m, dtype=np.float64)
+    for i in range(k):
+        gram[0, 0] += 1.0
+        rhs[0] += ys[i]
+        for a in range(order):
+            va = xs[i, a]
+            gram[0, a + 1] += va
+            gram[a + 1, 0] += va
+            rhs[a + 1] += va * ys[i]
+            for c in range(order):
+                gram[a + 1, c + 1] += va * xs[i, c]
+    if l2 > 0.0:
+        for a in range(1, m):
+            gram[a, a] += l2
+            rhs[a] += l2 * prior[a - 1]
+    coef, _, _, _ = np.linalg.lstsq(gram, rhs)
+    return coef

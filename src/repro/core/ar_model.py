@@ -31,6 +31,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import ConfigurationError, NotTrainedError
 
 
@@ -54,22 +55,16 @@ class RunningStats:
         instead of the per-row Welford recurrence (a Python loop over
         the block).  Numerically this matches the scalar recurrence to
         machine rounding — the regression tests pin coefficients of the
-        two variants within 1e-9.
+        two variants within 1e-9.  The merge itself runs on the active
+        kernel backend (:mod:`repro.core.kernels`).
         """
         rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
-        k = rows.shape[0]
-        if k == 0:
+        if rows.shape[0] == 0:
             return
-        block_mean = rows.mean(axis=0)
-        centered = rows - block_mean
-        block_m2 = np.einsum("ij,ij->j", centered, centered)
-        delta = block_mean - self._mean
-        total = self.count + k
-        self._mean = self._mean + delta * (k / total)
-        self._m2 = self._m2 + block_m2 + delta * delta * (
-            self.count * k / total
+        self._mean, self._m2, count = kernels.active().chan_update(
+            self._mean, self._m2, self.count, rows
         )
-        self.count = total
+        self.count = int(count)
         self._std_cache = None
 
     def merge(self, other: "RunningStats") -> "RunningStats":
@@ -305,33 +300,50 @@ class ARModel:
             raise ConfigurationError(
                 f"feature/target count mismatch: {x.shape[0]} vs {y.shape[0]}"
             )
-        self._x_stats.update(x)
-        self._y_stats.update(y.reshape(-1, 1))
-
-        xs = (x - self._x_stats.mean) / self._x_stats.std
-        ys = (y - self._y_stats.mean[0]) / self._y_stats.std[0]
-
-        pre_residual = xs @ self._w + self._b - ys
-        pre_mse = float(np.mean(pre_residual**2))
-
-        k = xs.shape[0]
-        for _ in range(self.epochs_per_batch):
-            residual = xs @ self._w + self._b - ys
-            grad_w = 2.0 * (xs.T @ residual) / k + 2.0 * self.l2 * (
-                self._w - self._prior
-            )
-            grad_b = 2.0 * float(np.mean(residual))
-            norm = float(np.sqrt(np.dot(grad_w, grad_w) + grad_b * grad_b))
-            if norm > self.clip:
-                scale = self.clip / norm
-                grad_w = grad_w * scale
-                grad_b = grad_b * scale
-            self._w -= self.learning_rate * grad_w
-            self._b -= self.learning_rate * grad_b
-            self._project_stationary()
+        # The whole update — stats fold, standardisation, GD epochs with
+        # clipping and the stationarity projection — is one fused call
+        # on the active kernel backend; the stats aggregates are written
+        # back so merge/serialisation semantics are unchanged.
+        (
+            self._w,
+            self._b,
+            pre_mse,
+            x_mean,
+            x_m2,
+            x_count,
+            y_mean,
+            y_m2,
+            y_count,
+        ) = kernels.active().ar_batch_update(
+            x,
+            y,
+            self._w,
+            self._b,
+            self._prior,
+            self._x_stats._mean,
+            self._x_stats._m2,
+            self._x_stats.count,
+            self._y_stats._mean,
+            self._y_stats._m2,
+            self._y_stats.count,
+            self.learning_rate,
+            self.epochs_per_batch,
+            self.l2,
+            self.clip,
+            -1.0 if self.max_coefficient_sum is None
+            else self.max_coefficient_sum,
+        )
+        self._x_stats._mean = x_mean
+        self._x_stats._m2 = x_m2
+        self._x_stats.count = int(x_count)
+        self._x_stats._std_cache = None
+        self._y_stats._mean = y_mean
+        self._y_stats._m2 = y_m2
+        self._y_stats.count = int(y_count)
+        self._y_stats._std_cache = None
 
         self._updates += 1
-        return pre_mse
+        return float(pre_mse)
 
     def _project_stationary(self) -> None:
         """Rescale the coefficients if their sum is explosive.
@@ -374,15 +386,14 @@ class ARModel:
         self._y_stats.update(y.reshape(-1, 1))
         xs = (x - self._x_stats.mean) / self._x_stats.std
         ys = (y - self._y_stats.mean[0]) / self._y_stats.std[0]
-        design = np.hstack([np.ones((xs.shape[0], 1)), xs])
-        gram = design.T @ design
-        rhs = design.T @ ys
-        if self.l2 > 0:
-            penalty = self.l2 * np.eye(self.order + 1)
-            penalty[0, 0] = 0.0
-            gram = gram + penalty
-            rhs = rhs + self.l2 * np.concatenate([[0.0], self._prior])
-        coef, *_ = np.linalg.lstsq(gram, rhs, rcond=None)
+        # Normal-equation accumulation + ridge solve on the active
+        # kernel backend.
+        coef = kernels.active().normal_solve(
+            np.ascontiguousarray(xs),
+            np.ascontiguousarray(ys),
+            self._prior,
+            self.l2,
+        )
         self._b = float(coef[0])
         self._w = np.asarray(coef[1:], dtype=np.float64)
         self._updates += 1

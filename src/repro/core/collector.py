@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import kernels
 from repro.core.minibatch import MiniBatchTrainer
 from repro.core.params import IterParam
 from repro.core.providers import ProviderFn, batch_sample
@@ -453,9 +454,13 @@ class DataCollector:
         # predecessors ending at the anchor row (most recent first)
         # predicting its value in the newest row.  One push_block over
         # all columns replaces the per-location push loop — O(order)
-        # rows are touched, independent of history length.
-        window = self.store.matrix()[anchor - self.order + 1: anchor + 1]
-        features = window[::-1].T
+        # rows are touched, independent of history length.  The window
+        # construction runs on the active kernel backend (a zero-copy
+        # strided view on the NumPy backend, a contiguous compiled
+        # gather on numba).
+        features = kernels.active().temporal_features(
+            self.store.matrix(), anchor, self.order
+        )
         targets = self.store.row(n - 1)
         losses = self.trainer.push_block(features, targets)
         self._samples_emitted += targets.shape[0]

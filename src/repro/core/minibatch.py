@@ -196,7 +196,11 @@ class MiniBatchTrainer:
         Semantically identical to calling :meth:`push` per row, but the
         per-sample Python overhead collapses into array slicing — this
         is the hot path the in-situ collector calls once per matching
-        iteration.
+        iteration.  Each full batch trains through
+        ``model.partial_fit``, whose Chan statistics merge and gradient
+        epochs dispatch to the active kernel backend
+        (:mod:`repro.core.kernels`) — compiled when the engine resolved
+        ``kernels`` to numba, pure NumPy otherwise.
         """
         y = np.ravel(np.asarray(targets, dtype=np.float64))
         x = np.asarray(features, dtype=np.float64)

@@ -38,6 +38,7 @@ from typing import Callable, Protocol, Sequence
 
 import numpy as np
 
+from repro.core import kernels
 from repro.errors import CollectionError, ConfigurationError
 
 ProviderFn = Callable[[object, int], float]
@@ -206,7 +207,9 @@ def array_provider(values: Sequence[float]) -> ProviderFn:
         return float(values[location])
 
     def _batch(domain: object, locations: np.ndarray) -> np.ndarray:
-        return np.asarray(values, dtype=np.float64)[locations]
+        return kernels.active().gather(
+            np.asarray(values, dtype=np.float64), locations
+        )
 
     _provider.batch = _batch
     return _provider
@@ -225,9 +228,10 @@ def attribute_provider(attribute: str) -> ProviderFn:
         return float(getattr(domain, attribute)[location])
 
     def _batch(domain: object, locations: np.ndarray) -> np.ndarray:
-        return np.asarray(getattr(domain, attribute), dtype=np.float64)[
-            locations
-        ]
+        return kernels.active().gather(
+            np.asarray(getattr(domain, attribute), dtype=np.float64),
+            locations,
+        )
 
     _provider.batch = _batch
     return _provider

@@ -72,6 +72,15 @@ from repro.engine.scheduler import (
     AnalysisState,
     InSituEngine,
 )
+from repro.core.kernels import (
+    KERNEL_ALIASES,
+    KERNEL_AUTO,
+    KERNEL_NUMBA,
+    KERNEL_NUMPY,
+    KERNELS,
+    numba_available,
+    resolve_kernels,
+)
 from repro.engine.transport import (
     TRANSPORT_ALIASES,
     TRANSPORT_AUTO,
@@ -114,6 +123,11 @@ __all__ = [
     "FaultPlan",
     "GroupPlan",
     "InSituEngine",
+    "KERNELS",
+    "KERNEL_ALIASES",
+    "KERNEL_AUTO",
+    "KERNEL_NUMBA",
+    "KERNEL_NUMPY",
     "KILL_EXIT_CODE",
     "KillFault",
     "LocalExecutor",
@@ -134,9 +148,11 @@ __all__ = [
     "WdMergerApp",
     "as_fault_plan",
     "as_simulation_app",
+    "numba_available",
     "plan_groups",
     "register_adapter",
     "replay_provider",
+    "resolve_kernels",
     "resolve_transport",
     "shared_memory_available",
 ]

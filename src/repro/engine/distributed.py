@@ -66,9 +66,11 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import kernels as kernel_registry
 from repro.core.ar_model import RunningStats
 from repro.core.collector import SeriesStore
 from repro.core.curve_fitting import Analysis
+from repro.core.kernels import KERNEL_AUTO, KERNEL_NUMPY, resolve_kernels
 from repro.core.params import IterParam
 from repro.core.providers import ShardView
 from repro.engine.cadence import as_cadence_controller
@@ -549,6 +551,10 @@ class _WorkerTask:
     transport: str = TRANSPORT_AUTO
     ring_name: Optional[str] = None
     faults: Optional[FaultPlan] = None
+    # Resolved (concrete) kernel backend the parent runs on; the worker
+    # installs the same one so every shard's provider gathers dispatch
+    # identically.
+    kernels: str = KERNEL_NUMPY
 
 
 def _shard_worker(conn, task: _WorkerTask) -> None:
@@ -583,6 +589,9 @@ def _shard_worker(conn, task: _WorkerTask) -> None:
     failed = False
     sender = None
     try:
+        # Same kernel backend as the parent (already resolved there; a
+        # spawn-start worker re-imports, so install it explicitly).
+        kernel_registry.use(task.kernels)
         app = as_simulation_app(task.app_factory())
         views = [
             ShardView(spec.provider, spec.locations) for spec in task.groups
@@ -768,6 +777,7 @@ class MultiprocessExecutor:
         rebalance: bool = False,
         rebalance_threshold: float = 1.75,
         rebalance_every: int = 2,
+        kernels: str = KERNEL_NUMPY,
     ) -> None:
         if chunk <= 0:
             raise ConfigurationError(f"chunk must be positive, got {chunk}")
@@ -778,6 +788,7 @@ class MultiprocessExecutor:
         self.max_iterations = max_iterations
         self.chunk = chunk
         self.transport_name = resolve_transport(transport)
+        self.kernels = resolve_kernels(kernels)
         self.last_step_seconds = 0.0
         self.elastic = elastic
         self.faults = faults
@@ -858,6 +869,7 @@ class MultiprocessExecutor:
                     transport=self.transport_name,
                     ring_name=None if ring is None else ring.name,
                     faults=self.faults,
+                    kernels=self.kernels,
                 )
             )
         try:
@@ -1501,6 +1513,11 @@ class DistributedEngine:
         pickled-payload pipe), or ``"auto"`` (the default: shared
         memory when the platform supports it, pickle otherwise).  See
         :mod:`repro.engine.transport`.
+    kernels:
+        Hot-loop backend (``"auto"``/``"numpy"``/``"numba"``, see
+        :mod:`repro.core.kernels`), resolved eagerly like the
+        transport.  Worker ranks install the same resolved backend, so
+        shard gathers and the parent's training dispatch identically.
     faults:
         Optional :class:`~repro.engine.faults.FaultPlan` (or its spec
         string) of deterministic failures to inject — rank kills,
@@ -1544,6 +1561,7 @@ class DistributedEngine:
         rebalance: bool = False,
         rebalance_threshold: float = 1.75,
         rebalance_every: Optional[int] = None,
+        kernels: str = KERNEL_AUTO,
         name: str = "distributed-engine",
     ) -> None:
         if backend not in BACKENDS:
@@ -1590,6 +1608,10 @@ class DistributedEngine:
             if backend == BACKEND_MULTIPROCESSING
             else None
         )
+        # Same contract for the kernel backend: an unknown name or an
+        # explicit numba request without the toolchain fails here, not
+        # mid-run (and never inside a worker).
+        self.kernels = resolve_kernels(kernels)
         self.app_factory = app_factory
         if app is None:
             if app_factory is None:
@@ -1660,6 +1682,7 @@ class DistributedEngine:
             on_plans=self._wire_wavefront_ranks,
             cadence=as_cadence_controller(cadence),
             finalize_result=self._finalize_result,
+            kernels=self.kernels,
         )
 
     def add_analysis(self, analysis: Analysis) -> Analysis:
@@ -1729,6 +1752,7 @@ class DistributedEngine:
             rebalance=self.rebalance,
             rebalance_threshold=self.rebalance_threshold,
             rebalance_every=self.rebalance_every,
+            kernels=self.kernels,
         )
 
     def _finalize_result(self, base: dict, executor: Executor) -> "DistributedResult":

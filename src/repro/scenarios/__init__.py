@@ -28,6 +28,7 @@ from repro.scenarios.spec import (
     names,
     register,
     resolve_backend,
+    resolve_kernels_name,
     resolve_transport_name,
     run_scenario,
     specs,
@@ -53,6 +54,7 @@ __all__ = [
     "names",
     "register",
     "resolve_backend",
+    "resolve_kernels_name",
     "resolve_transport_name",
     "run_scenario",
     "specs",

@@ -46,6 +46,8 @@ from repro.engine import (
     BACKEND_MULTIPROCESSING,
     BACKEND_SIMCOMM,
     BACKENDS,
+    KERNEL_ALIASES,
+    KERNEL_AUTO,
     POLICIES,
     TRANSPORT_ALIASES,
     TRANSPORT_AUTO,
@@ -121,6 +123,23 @@ def resolve_transport_name(name: str) -> str:
             f"{sorted(set(TRANSPORT_ALIASES))}"
         )
     return transport
+
+
+def resolve_kernels_name(name: str) -> str:
+    """Canonical kernel-backend name for ``name`` (accepts ``jit`` etc.).
+
+    Like :func:`resolve_transport_name` this keeps ``"auto"`` intact —
+    the engines collapse it (and validate availability) at
+    construction; the run report then carries the *resolved* concrete
+    backend.
+    """
+    kernels = KERNEL_ALIASES.get(name)
+    if kernels is None:
+        raise ScenarioError(
+            f"unknown kernel backend {name!r}; expected one of "
+            f"{sorted(set(KERNEL_ALIASES))}"
+        )
+    return kernels
 
 
 @dataclass(frozen=True)
@@ -390,6 +409,8 @@ class ScenarioRun:
     adaptive: bool = False
     faults: Optional[FaultPlan] = None
     rebalance: bool = False
+    #: The *resolved* kernel backend the run trained on ("numpy"/"numba").
+    kernels: str = "numpy"
 
     @property
     def error(self) -> float:
@@ -421,6 +442,7 @@ class ScenarioRun:
             "ranks": self.n_ranks,
             "backend": self.backend,
             "transport": self.result.transport,
+            "kernels": self.kernels,
             "quick": self.quick,
             "adaptive": self.adaptive,
             "params": {k: repr(v) for k, v in sorted(self.params.items())},
@@ -500,6 +522,7 @@ def run_scenario(
     max_iterations: Optional[int] = None,
     faults: Union[None, str, FaultPlan] = None,
     rebalance: bool = False,
+    kernels: str = KERNEL_AUTO,
 ) -> ScenarioRun:
     """Resolve ``name`` and run it end to end (build, run, validate).
 
@@ -513,7 +536,11 @@ def run_scenario(
     multiprocessing row path (``"shared_memory"``/``"shm"``,
     ``"pickle"`` or the default ``"auto"``); naming a concrete
     transport with any other backend is an error — serial and simcomm
-    runs move no rows between processes.  ``crosscheck`` (default: on
+    runs move no rows between processes.  ``kernels`` picks the
+    hot-loop backend (``"auto"``/``"numpy"``/``"numba"`` plus aliases;
+    see :mod:`repro.core.kernels`) — the engine resolves and validates
+    it eagerly, and the :class:`ScenarioRun` records the concrete
+    backend the run trained on.  ``crosscheck`` (default: on
     for distributed runs) additionally runs a fresh serial engine over
     a fresh app and reports the divergence between the two fitted
     analysis sets — the CI smoke matrix fails a scenario whose report
@@ -535,6 +562,7 @@ def run_scenario(
     spec = get(name)
     backend = resolve_backend(backend)
     transport = resolve_transport_name(transport)
+    kernels = resolve_kernels_name(kernels)
     fault_plan = as_fault_plan(faults)
     if n_ranks <= 0:
         raise ScenarioError(f"n_ranks must be positive, got {n_ranks}")
@@ -579,17 +607,19 @@ def run_scenario(
             policy=spec.policy,
             quorum=spec.quorum,
             cadence=spec.cadence_controller() if adaptive else None,
+            kernels=kernels,
             name=name,
         )
         analyses = [
             engine.add_analysis(a) for a in spec.analysis_factory(**merged)
         ]
         result = engine.run(max_iterations=max_iterations)
-        return engine.app, analyses, result
+        return engine, analyses, result
 
     start = time.perf_counter()
     if n_ranks == 1:
-        app, analyses, result = _serial_leg()
+        engine, analyses, result = _serial_leg()
+        app = engine.app
     else:
         if backend == BACKEND_MULTIPROCESSING:
             import functools
@@ -601,6 +631,7 @@ def run_scenario(
                 policy=spec.policy,
                 quorum=spec.quorum,
                 transport=transport,
+                kernels=kernels,
                 faults=fault_plan,
                 rebalance=rebalance,
                 name=name,
@@ -613,6 +644,7 @@ def run_scenario(
                 policy=spec.policy,
                 quorum=spec.quorum,
                 cadence=spec.cadence_controller() if adaptive else None,
+                kernels=kernels,
                 faults=fault_plan,
                 rebalance=rebalance,
                 name=name,
@@ -660,4 +692,6 @@ def run_scenario(
         adaptive=adaptive,
         faults=fault_plan,
         rebalance=rebalance,
+        # The engine collapsed "auto" to the concrete backend it ran on.
+        kernels=engine.kernels,
     )
