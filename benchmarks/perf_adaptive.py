@@ -75,8 +75,12 @@ _velocity.batch = _velocity_batch
 def bench_scenario(name: str, *, quick: bool) -> dict:
     """Baseline vs adaptive run of one registered scenario."""
     spec = scenarios.get(name)
-    baseline = scenarios.run_scenario(name, quick=quick)
-    adaptive = scenarios.run_scenario(name, quick=quick, adaptive=True)
+    baseline = scenarios.run_scenario(
+        name, config=scenarios.RunConfig(quick=quick)
+    )
+    adaptive = scenarios.run_scenario(
+        name, config=scenarios.RunConfig(quick=quick, adaptive=True)
+    )
     totals = adaptive.result.cadence["totals"]
     if not (baseline.accuracy_ok and adaptive.accuracy_ok):
         raise AssertionError(
@@ -174,8 +178,12 @@ def warmup() -> "tuple[str, float]":
     """
     tick = time.perf_counter()
     backend = kernel_registry.get_backend()
-    scenarios.run_scenario("heat-diffusion", quick=True)
-    scenarios.run_scenario("heat-diffusion", quick=True, adaptive=True)
+    scenarios.run_scenario(
+        "heat-diffusion", config=scenarios.RunConfig(quick=True)
+    )
+    scenarios.run_scenario(
+        "heat-diffusion", config=scenarios.RunConfig(quick=True, adaptive=True)
+    )
     return backend.name, time.perf_counter() - tick
 
 

@@ -1,0 +1,231 @@
+"""Serving benchmark: cold-start vs warm-pool vs content-addressed cache.
+
+Quantifies what ``repro serve`` buys over one-shot CLI runs, in three
+latency regimes for the same quick heat-diffusion request:
+
+``cold``
+    A fresh ``python repro.py run ...`` subprocess — interpreter boot,
+    numpy import and registry construction land inside the measurement,
+    exactly what a cron job or shell loop pays per run.
+
+``warm-pool``
+    The same request POSTed to a live server whose workers pre-imported
+    everything at startup (``no_cache`` forces a real run); the
+    response is the full NDJSON stream, so streaming overhead is
+    charged honestly.
+
+``cache-hit``
+    The identical request again, answered from the content-addressed
+    result cache with the stored canonical report bytes — no worker,
+    no iteration loop.
+
+Also measures request throughput at ``--clients`` concurrent
+connections (cache-hit and warm-miss paths separately), asserts the
+stream carries at least two incremental coefficient updates before the
+final report (the "analysis state is actually streaming" smoke bound),
+verifies the cache hit is byte-identical to the miss that populated
+it, and fails unless the hit is ``--min-hit-speedup`` times faster
+than the warm-pool run (CI gates on 100x).
+
+Run directly::
+
+    python benchmarks/perf_serve.py [--quick] [--clients 8] \
+        [--min-hit-speedup 100] [--output BENCH_serve.json]
+
+Not collected by pytest (not named ``test_*``) — a timing script, not
+a correctness test.
+"""
+
+from __future__ import annotations
+
+import _bootstrap  # noqa: F401  (makes src/ importable from a checkout)
+
+import argparse
+import json
+import os
+import statistics
+import subprocess
+import sys
+import threading
+import time
+
+from repro.scenarios import RunConfig
+from repro.serve import ServerThread
+
+REPO_ROOT = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+)
+
+#: The benchmarked request — quick, serial, no cross-check leg.
+CONFIG = RunConfig(quick=True, crosscheck=False)
+SCENARIO = "heat-diffusion"
+
+
+def time_cold_run() -> float:
+    """Wall seconds for one fresh CLI subprocess running the request."""
+    tick = time.perf_counter()
+    subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "repro.py"),
+            "run",
+            SCENARIO,
+            "--quick",
+            "--no-crosscheck",
+        ],
+        check=True,
+        capture_output=True,
+        cwd=REPO_ROOT,
+    )
+    return time.perf_counter() - tick
+
+
+def time_requests(make_client, *, n, **run_kwargs):
+    """Median wall seconds over ``n`` sequential /run requests."""
+    samples = []
+    responses = []
+    for _ in range(n):
+        client = make_client()
+        tick = time.perf_counter()
+        response = client.run(SCENARIO, CONFIG, **run_kwargs)
+        samples.append(time.perf_counter() - tick)
+        assert response.status == 200 and response.report["ok"], (
+            response.status,
+            response.error,
+        )
+        responses.append(response)
+    return statistics.median(samples), responses
+
+
+def measure_throughput(harness, *, clients, per_client, **run_kwargs):
+    """Requests/sec with ``clients`` threads issuing ``per_client`` each."""
+    barrier = threading.Barrier(clients + 1)
+    failures = []
+
+    def worker():
+        client = harness.client(timeout=300)
+        barrier.wait()
+        for _ in range(per_client):
+            response = client.run(SCENARIO, CONFIG, **run_kwargs)
+            if response.status != 200 or not response.report["ok"]:
+                failures.append(response.error)
+
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    tick = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    seconds = time.perf_counter() - tick
+    assert not failures, failures[:3]
+    return (clients * per_client) / seconds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="fewer repetitions (CI smoke)")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent connections for the throughput leg")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="warm pool size")
+    parser.add_argument("--min-hit-speedup", type=float, default=100.0,
+                        help="fail unless cache hit beats the warm-pool "
+                        "run by this factor")
+    parser.add_argument("--output", metavar="PATH",
+                        help="write the result payload as JSON")
+    args = parser.parse_args(argv)
+
+    reps = 3 if args.quick else 5
+    per_client = 2 if args.quick else 5
+
+    print("cold start: one-shot CLI subprocess ...")
+    cold_seconds = time_cold_run()
+
+    with ServerThread(workers=args.workers) as harness:
+        # Untimed warmup: touches every layer once (pool pipes, cache
+        # insert) so the timed medians measure steady state.  This run
+        # populates the cache — later hits must replay ITS bytes.
+        populating = harness.client().run(SCENARIO, CONFIG)
+
+        print(f"warm pool: {reps} streamed runs (no_cache) ...")
+        warm_seconds, warm_responses = time_requests(
+            harness.client, n=reps, no_cache=True
+        )
+        streamed = warm_responses[-1]
+        fitted = [e for e in streamed.progress
+                  if e["analyses"] and "coefficients" in e["analyses"][0]]
+        assert len(fitted) >= 2, (
+            f"expected >=2 incremental coefficient updates in the "
+            f"stream, got {len(fitted)}"
+        )
+
+        print(f"cache hit: {reps} repeats of the identical request ...")
+        hit_seconds, hit_responses = time_requests(harness.client, n=reps)
+        assert all(r.cached for r in hit_responses), "expected cache hits"
+        assert all(
+            r.raw_report == populating.raw_report for r in hit_responses
+        ), "cache hit was not byte-identical to the run that populated it"
+
+        print(f"throughput: {args.clients} concurrent clients ...")
+        hit_rps = measure_throughput(
+            harness, clients=args.clients, per_client=per_client
+        )
+        miss_rps = measure_throughput(
+            harness, clients=args.clients, per_client=per_client,
+            no_cache=True,
+        )
+        stats = harness.client().get("/stats")
+
+    hit_speedup = warm_seconds / hit_seconds
+    payload = {
+        "scenario": SCENARIO,
+        "config": CONFIG.to_json(),
+        "workers": args.workers,
+        "repetitions": reps,
+        "cold_seconds": cold_seconds,
+        "warm_pool_seconds": warm_seconds,
+        "cache_hit_seconds": hit_seconds,
+        "warm_pool_speedup_vs_cold": cold_seconds / warm_seconds,
+        "cache_hit_speedup_vs_warm": hit_speedup,
+        "cache_hit_speedup_vs_cold": cold_seconds / hit_seconds,
+        "streamed_progress_events": len(streamed.progress),
+        "incremental_coefficient_updates": len(fitted),
+        "concurrent_clients": args.clients,
+        "requests_per_client": per_client,
+        "cache_hit_requests_per_second": hit_rps,
+        "warm_miss_requests_per_second": miss_rps,
+        "cache_stats": stats["cache"],
+        "byte_identical_hits": True,
+    }
+
+    print()
+    print(f"cold start (CLI subprocess) : {cold_seconds * 1e3:9.1f} ms")
+    print(f"warm pool (streamed run)    : {warm_seconds * 1e3:9.1f} ms "
+          f"({payload['warm_pool_speedup_vs_cold']:.1f}x vs cold)")
+    print(f"cache hit                   : {hit_seconds * 1e3:9.3f} ms "
+          f"({hit_speedup:.0f}x vs warm, "
+          f"{payload['cache_hit_speedup_vs_cold']:.0f}x vs cold)")
+    print(f"throughput @{args.clients} clients     : "
+          f"{hit_rps:8.1f} req/s cached, {miss_rps:6.1f} req/s warm-miss")
+    print(f"stream: {len(streamed.progress)} progress events, "
+          f"{len(fitted)} carrying fitted coefficients")
+
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"\nreport: {args.output}")
+
+    if hit_speedup < args.min_hit_speedup:
+        print(
+            f"FAIL: cache hit speedup {hit_speedup:.1f}x below the "
+            f"required {args.min_hit_speedup:g}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

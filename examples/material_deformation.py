@@ -26,7 +26,10 @@ def main():
     size = int(sys.argv[1]) if len(sys.argv) > 1 else 30
     print(f"domain size {size}^3 — running scenario 'lulesh-sedov' ...")
     run = scenarios.run_scenario(
-        "lulesh-sedov", params={"size": size, "thresholds": THRESHOLDS}
+        "lulesh-sedov",
+        config=scenarios.RunConfig(
+            params={"size": size, "thresholds": THRESHOLDS}
+        ),
     )
     metrics = run.metrics
     print(

@@ -28,7 +28,9 @@ status = repro_cli(["run", "heat-diffusion", "--quick"])
 assert status == 0, "scenario validation failed"
 
 # 3. The same thing programmatically, with the full result in hand.
-run = scenarios.run_scenario("heat-diffusion", quick=True)
+run = scenarios.run_scenario(
+    "heat-diffusion", config=scenarios.RunConfig(quick=True)
+)
 print()
 print(f"programmatic: error {run.error:.4g}% vs tolerance {run.tolerance:g}%")
 print(f"analyses: {[a.name for a in run.analyses]}")
@@ -36,7 +38,9 @@ print(f"stopped at: {run.result.stopped_at}")
 
 # 4. Distributed runs shard the same spec over ranks and cross-check
 #    against serial — bit-identical fits or the run fails.
-run = scenarios.run_scenario("heat-diffusion", quick=True, n_ranks=2)
+run = scenarios.run_scenario(
+    "heat-diffusion", config=scenarios.RunConfig(quick=True, n_ranks=2)
+)
 print(
     f"2 ranks: max serial/distributed delta "
     f"{run.crosscheck['max_coefficient_delta']:.1e} -> ok={run.ok}"

@@ -34,7 +34,9 @@ def main():
     for a0 in (2.55, 2.60, 2.65, 2.70):
         run = scenarios.run_scenario(
             "wdmerger-detonation",
-            params={"resolution": 16, "initial_separation": a0},
+            config=scenarios.RunConfig(
+                params={"resolution": 16, "initial_separation": a0}
+            ),
         )
         delay = run.metrics.get("delay_time", float("nan"))
         delays.append(delay)

@@ -19,15 +19,19 @@ repro.experiments.runner`` from the root), it replaces itself in
 import os
 import sys
 
+# src/ must precede the checkout root (where THIS file shadows the
+# package), even when PYTHONPATH already mentions it further back —
+# otherwise the hand-over import below resolves to this file again.
 _SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
+if _SRC in sys.path:
+    sys.path.remove(_SRC)
+sys.path.insert(0, _SRC)
 
 if __name__ == "__main__":
     from repro.cli import main
 
     sys.exit(main())
-else:
+elif __name__ == "repro":
     # Imported as the `repro` module from the checkout root: hand over
     # to the real package (importlib re-reads sys.modules after module
     # execution, so the swap is what the importer returns).
@@ -35,3 +39,8 @@ else:
 
     del sys.modules[__name__]
     importlib.import_module(__name__)
+else:
+    # A spawn-started multiprocessing child re-running the launcher as
+    # "__mp_main__" for interpreter preparation: the sys.path fix above
+    # is all it needs — real imports resolve to the package.
+    pass

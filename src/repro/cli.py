@@ -28,6 +28,18 @@ Three subcommands drive the scenario registry
     Time every (or the named) scenario serial and distributed, print a
     comparison table, and optionally write the rows as JSON.
 
+``serve``
+    Start the analysis server (:mod:`repro.serve`): an asyncio HTTP
+    endpoint multiplexing run requests over ``--workers N`` warm
+    pre-imported worker processes, streaming incremental analysis
+    state as NDJSON and answering repeated identical requests from a
+    content-addressed result cache (``--cache-mb`` byte budget).
+
+Programmatically, ``run`` builds a
+:class:`~repro.scenarios.RunConfig` from its flags and calls
+``run_scenario(name, config=...)`` — the same request object the
+server accepts as JSON.
+
 Examples::
 
     python -m repro list
@@ -36,6 +48,7 @@ Examples::
     python -m repro run heat-diffusion --ranks 4 --backend mp \
         --faults 'kill:rank=2,iter=40' --rebalance
     python -m repro bench --ranks 2 --quick
+    python -m repro serve --port 8752 --workers 4
 """
 
 from __future__ import annotations
@@ -102,8 +115,7 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    run = scenarios.run_scenario(
-        args.scenario,
+    config = scenarios.RunConfig(
         n_ranks=args.ranks,
         backend=args.backend,
         transport=args.transport,
@@ -116,6 +128,7 @@ def _cmd_run(args) -> int:
         faults=args.faults,
         rebalance=args.rebalance,
     )
+    run = scenarios.run_scenario(args.scenario, config=config)
     if run.n_ranks == 1:
         mode = "serial"
     else:
@@ -203,18 +216,23 @@ def _cmd_bench(args) -> int:
     rows: List[Dict[str, object]] = []
     failures = 0
     for name in names:
-        serial = scenarios.run_scenario(name, quick=args.quick, kernels=args.kernels)
+        serial = scenarios.run_scenario(
+            name,
+            config=scenarios.RunConfig(quick=args.quick, kernels=args.kernels),
+        )
         spec = scenarios.get(name)
         transport = None
         if args.ranks > 1 and backend in spec.backends:
             dist = scenarios.run_scenario(
                 name,
-                n_ranks=args.ranks,
-                backend=backend,
-                transport=args.transport,
-                kernels=args.kernels,
-                quick=args.quick,
-                crosscheck=True,
+                config=scenarios.RunConfig(
+                    n_ranks=args.ranks,
+                    backend=backend,
+                    transport=args.transport,
+                    kernels=args.kernels,
+                    quick=args.quick,
+                    crosscheck=True,
+                ),
             )
             dist_seconds: Optional[float] = dist.seconds
             comm_seconds = getattr(dist.result, "comm_seconds", 0.0)
@@ -258,6 +276,20 @@ def _cmd_bench(args) -> int:
             )
         print(f"\nreport: {args.json}")
     return 0 if failures == 0 else 1
+
+
+def _cmd_serve(args) -> int:
+    # Imported lazily: `list`/`run` should not pay for asyncio + the
+    # serving stack.
+    from repro.serve import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_bytes=args.cache_mb * 1024 * 1024,
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -365,6 +397,26 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--quick", action="store_true")
     p_bench.add_argument("--json", metavar="PATH")
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_serve = sub.add_parser(
+        "serve", help="start the streaming analysis server"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default loopback)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=8752, help="TCP port (0 = ephemeral)"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=2, help="warm worker processes"
+    )
+    p_serve.add_argument(
+        "--cache-mb",
+        type=int,
+        default=64,
+        help="result cache budget in MiB (0 disables caching)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
 
     return parser
 

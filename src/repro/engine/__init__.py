@@ -62,6 +62,7 @@ from repro.engine.driver import (
     GroupPlan,
     LocalExecutor,
     plan_groups,
+    progress_snapshot,
 )
 from repro.engine.scheduler import (
     POLICIES,
@@ -150,6 +151,7 @@ __all__ = [
     "as_simulation_app",
     "numba_available",
     "plan_groups",
+    "progress_snapshot",
     "register_adapter",
     "replay_provider",
     "resolve_kernels",

@@ -1781,12 +1781,24 @@ class DistributedEngine:
             ],
         )
 
-    def run(self, *, max_iterations: Optional[int] = None) -> DistributedResult:
-        """Run until done / collective termination / the iteration limit."""
+    def run(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> DistributedResult:
+        """Run until done / collective termination / the iteration limit.
+
+        ``progress`` (optional) receives a
+        :func:`~repro.engine.driver.progress_snapshot` after every
+        dispatched iteration; the scheduler (and thus the snapshot
+        state) lives in the driving process on every backend, so the
+        hook works unchanged under multiprocessing.
+        """
         if self.backend == BACKEND_MULTIPROCESSING and self._ran:
             raise ConfigurationError(
                 "the multiprocessing backend cannot resume: worker replicas "
                 "restart from iteration 0 and would diverge from the parent"
             )
         self._ran = True
-        return self.driver.run(max_iterations=max_iterations)
+        return self.driver.run(max_iterations=max_iterations, progress=progress)

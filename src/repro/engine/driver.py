@@ -287,6 +287,53 @@ class EngineResult:
 
 
 # ----------------------------------------------------------------------
+# incremental progress snapshots (the serving layer's streaming seam)
+# ----------------------------------------------------------------------
+
+
+def progress_snapshot(scheduler, iteration: int, terminated: bool) -> dict:
+    """JSON-ready snapshot of the analysis state after one iteration.
+
+    This is what the analysis service streams to subscribers while a
+    run is still in flight: per-analysis fitted coefficients (once the
+    model has trained), early-stop status and the newest wavefront
+    position, keyed the same way the final
+    :class:`~repro.scenarios.spec.ScenarioRun` report is.  Built only
+    when a progress hook is attached — runs without one pay nothing.
+    """
+    analyses = []
+    for state in scheduler.states:
+        analysis = state.analysis
+        entry: Dict[str, object] = {
+            "name": analysis.name,
+            "stopped_at": state.stopped_at,
+            "converged": bool(analysis.converged),
+        }
+        model = getattr(analysis, "model", None)
+        if model is not None and model.is_trained:
+            entry["coefficients"] = [float(c) for c in model.coefficients]
+            entry["intercept"] = float(model.intercept)
+        trainer = getattr(analysis, "trainer", None)
+        if trainer is not None:
+            entry["updates"] = int(trainer.updates)
+        events = getattr(analysis, "threshold_events", None)
+        if events:
+            last = events[-1]
+            entry["wavefront"] = {
+                "iteration": int(last.iteration),
+                "location": int(last.location),
+                "value": float(last.value),
+                "rank": analysis.wavefront_rank(last.location),
+            }
+        analyses.append(entry)
+    return {
+        "iteration": int(iteration),
+        "terminated": bool(terminated),
+        "analyses": analyses,
+    }
+
+
+# ----------------------------------------------------------------------
 # the driver
 # ----------------------------------------------------------------------
 
@@ -423,7 +470,12 @@ class ExecutionDriver:
 
     # ------------------------------------------------------------------
 
-    def run(self, *, max_iterations: Optional[int] = None) -> EngineResult:
+    def run(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> EngineResult:
         """Run until done / termination / the iteration limit.
 
         The loop mirrors the paper's instrumented main loop: advance
@@ -432,13 +484,25 @@ class ExecutionDriver:
         state.  With a ``kernels=`` backend attached, the whole run
         executes under it (scoped, so engines with different knobs can
         interleave in one process).
+
+        ``progress`` is the streaming seam: when set, it is called with
+        a :func:`progress_snapshot` after every dispatched iteration —
+        incremental fitted coefficients, early-stop status and
+        wavefront position while the run is still in flight.  Left
+        ``None`` (the default) the loop builds no snapshots and is
+        byte-for-byte the pre-hook loop.
         """
         if self.kernels is not None:
             with kernel_registry.activated(self.kernels):
-                return self._run(max_iterations=max_iterations)
-        return self._run(max_iterations=max_iterations)
+                return self._run(max_iterations=max_iterations, progress=progress)
+        return self._run(max_iterations=max_iterations, progress=progress)
 
-    def _run(self, *, max_iterations: Optional[int] = None) -> EngineResult:
+    def _run(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> EngineResult:
         app = self.app
         limit = app.max_iterations if max_iterations is None else max_iterations
         if limit < 0:
@@ -498,6 +562,12 @@ class ExecutionDriver:
                     cadence.after_dispatch(self.iteration, active)
                 if not keep_going:
                     terminated = True
+                if progress is not None:
+                    progress(
+                        progress_snapshot(
+                            self.scheduler, self.iteration, terminated
+                        )
+                    )
             base = dict(
                 iterations=self.iteration,
                 terminated_early=terminated,

@@ -358,6 +358,16 @@ class InSituEngine:
         """Absolute iteration count across (possibly resumed) runs."""
         return self.driver.iteration
 
-    def run(self, *, max_iterations: Optional[int] = None) -> EngineResult:
-        """Run the app until done / termination / the iteration limit."""
-        return self.driver.run(max_iterations=max_iterations)
+    def run(
+        self,
+        *,
+        max_iterations: Optional[int] = None,
+        progress: Optional[Callable[[dict], None]] = None,
+    ) -> EngineResult:
+        """Run the app until done / termination / the iteration limit.
+
+        ``progress`` (optional) receives a
+        :func:`~repro.engine.driver.progress_snapshot` after every
+        dispatched iteration — the serving layer's streaming hook.
+        """
+        return self.driver.run(max_iterations=max_iterations, progress=progress)

@@ -52,3 +52,11 @@ class SimulationError(ReproError):
 
 class CommunicatorError(ReproError):
     """Misuse of the simulated MPI communicator (bad rank, closed comm)."""
+
+
+class ServeError(ReproError):
+    """The analysis server could not satisfy a request.
+
+    Raised by :mod:`repro.serve` for malformed run requests, jobs lost
+    to a worker death mid-run, or submissions after shutdown began.
+    """

@@ -9,16 +9,22 @@ repro``), the experiment drivers and CI all resolve workloads through:
 >>> scenarios.names()
 ['advection-front', 'heat-diffusion', 'lulesh-sedov',
  'oscillator-ringdown', 'wdmerger-detonation']
->>> run = scenarios.run_scenario("heat-diffusion", n_ranks=2, quick=True)
+>>> cfg = scenarios.RunConfig(n_ranks=2, quick=True)
+>>> run = scenarios.run_scenario("heat-diffusion", config=cfg)
 >>> run.ok
 True
 
-See :mod:`repro.scenarios.spec` for the :class:`ScenarioSpec` contract
-and :func:`run_scenario` semantics.
+See :mod:`repro.scenarios.spec` for the :class:`ScenarioSpec` contract,
+the :class:`RunConfig` request object and :func:`run_scenario`
+semantics.
 """
 
 from repro.scenarios.spec import (
+    CROSSCHECK_INHERITED,
+    CROSSCHECK_OVERRIDES,
     DIVERGENCE_TOL,
+    SCHEMA_VERSION,
+    RunConfig,
     ScenarioRun,
     ScenarioSpec,
     build_sim,
@@ -27,6 +33,8 @@ from repro.scenarios.spec import (
     json_safe,
     names,
     register,
+    replay_fingerprint,
+    replay_report,
     resolve_backend,
     resolve_kernels_name,
     resolve_transport_name,
@@ -44,7 +52,11 @@ import repro.scenarios.ringdown  # noqa: E402,F401
 import repro.scenarios.wdmerger_merger  # noqa: E402,F401
 
 __all__ = [
+    "CROSSCHECK_INHERITED",
+    "CROSSCHECK_OVERRIDES",
     "DIVERGENCE_TOL",
+    "SCHEMA_VERSION",
+    "RunConfig",
     "ScenarioRun",
     "ScenarioSpec",
     "build_sim",
@@ -53,6 +65,8 @@ __all__ = [
     "json_safe",
     "names",
     "register",
+    "replay_fingerprint",
+    "replay_report",
     "resolve_backend",
     "resolve_kernels_name",
     "resolve_transport_name",

@@ -26,7 +26,12 @@ fails on.
 
 from __future__ import annotations
 
+import dataclasses
+import functools
+import hashlib
+import json
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -387,6 +392,252 @@ def build_sim(name: str, **overrides) -> object:
 
 
 # ----------------------------------------------------------------------
+# run configuration: the request API
+# ----------------------------------------------------------------------
+
+#: Schema version of ``ScenarioRun.to_json`` payloads.  Version 2 added
+#: the embedded ``"config"`` (the resolved :class:`RunConfig`), making
+#: every report replayable from its own JSON.
+SCHEMA_VERSION = 2
+
+#: RunConfig fields the cross-check leg overrides: the serial agreement
+#: run keeps everything that shapes the fitted results and replaces only
+#: the rank topology and the fault knobs (a serial leg has no ranks to
+#: shard, kill or rebalance, and must not recurse into its own check).
+#: Every other field is inherited verbatim —
+#: ``tests/test_scenarios.py`` asserts the two sets partition
+#: ``RunConfig``'s fields, so a newly added knob cannot silently
+#: diverge the two legs.
+CROSSCHECK_OVERRIDES = frozenset(
+    {"n_ranks", "backend", "transport", "faults", "rebalance", "crosscheck"}
+)
+
+#: RunConfig fields the cross-check leg inherits unchanged.
+CROSSCHECK_INHERITED = frozenset(
+    {"quick", "adaptive", "params", "max_iterations", "kernels"}
+)
+
+
+def _tuplify(value):
+    """Lists (from JSON round-trips) back to the tuples specs declare."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_tuplify(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One scenario-run request: every engine knob, as data.
+
+    This is the canonical request object behind :func:`run_scenario`
+    and the ``repro serve`` analysis service.  It owns the knobs that
+    used to sprawl across eleven loose keywords, validates their
+    combination eagerly at construction (the same errors the runner
+    used to raise mid-call), serializes to strict JSON
+    (:meth:`to_json` / :meth:`from_json`) and hashes canonically
+    (:meth:`cache_key`) so identical requests are identical keys.
+
+    Cache-key semantics — which fields participate and why:
+
+    * **All fields except** ``faults`` **participate**, because every
+      one of them lands in the run report: two requests differing in
+      any knob produce different ``ScenarioRun.to_json`` bytes even
+      when the fitted numbers agree (e.g. ``backend`` is recorded, and
+      ``crosscheck`` adds the agreement report).  That includes
+      ``quick`` (it also reshapes the resolved parameters) and
+      ``n_ranks`` (determinism makes the *fits* identical across rank
+      counts, but the report is not).
+    * ``params`` are hashed **after** resolution against the scenario's
+      defaults (plus ``quick`` overrides), so explicitly passing a
+      parameter at its default value hashes the same as omitting it.
+    * ``faults`` forces a cache **bypass** (:attr:`cacheable` is
+      False): fault injection exists to exercise recovery machinery,
+      and timing-dependent recovery/rebalance events make the report
+      non-reproducible byte-for-byte even though the fits are.
+
+    Build variants with :meth:`replace`; the cross-check leg's serial
+    twin comes from :meth:`crosscheck_config`.
+    """
+
+    n_ranks: int = 1
+    backend: str = BACKEND_SIMCOMM
+    transport: str = TRANSPORT_AUTO
+    quick: bool = False
+    adaptive: bool = False
+    params: Mapping[str, object] = field(default_factory=dict)
+    crosscheck: Optional[bool] = None
+    max_iterations: Optional[int] = None
+    faults: Union[None, str, FaultPlan] = None
+    rebalance: bool = False
+    kernels: str = KERNEL_AUTO
+
+    def __post_init__(self) -> None:
+        # Normalise aliases and coercible forms first (frozen dataclass,
+        # hence object.__setattr__), then validate the combination.
+        object.__setattr__(self, "backend", resolve_backend(self.backend))
+        object.__setattr__(
+            self, "transport", resolve_transport_name(self.transport)
+        )
+        object.__setattr__(self, "kernels", resolve_kernels_name(self.kernels))
+        object.__setattr__(self, "faults", as_fault_plan(self.faults))
+        params = self.params
+        if params is None:
+            params = {}
+        if not isinstance(params, Mapping) or not all(
+            isinstance(k, str) for k in params
+        ):
+            raise ScenarioError(
+                f"params must be a str-keyed mapping, got {params!r}"
+            )
+        object.__setattr__(
+            self, "params", {k: _tuplify(v) for k, v in params.items()}
+        )
+        if isinstance(self.n_ranks, bool) or not isinstance(self.n_ranks, int):
+            raise ScenarioError(
+                f"n_ranks must be an int, got {self.n_ranks!r}"
+            )
+        if self.n_ranks <= 0:
+            raise ScenarioError(
+                f"n_ranks must be positive, got {self.n_ranks}"
+            )
+        if self.max_iterations is not None and self.max_iterations < 0:
+            raise ScenarioError(
+                f"max_iterations must be >= 0, got {self.max_iterations}"
+            )
+        object.__setattr__(self, "quick", bool(self.quick))
+        object.__setattr__(self, "adaptive", bool(self.adaptive))
+        object.__setattr__(self, "rebalance", bool(self.rebalance))
+        if self.crosscheck is not None:
+            object.__setattr__(self, "crosscheck", bool(self.crosscheck))
+        if self.n_ranks == 1 and (self.faults is not None or self.rebalance):
+            raise ScenarioError(
+                "faults/rebalance only apply to distributed runs "
+                "(n_ranks > 1); a serial run has no ranks to kill, slow or "
+                "rebalance"
+            )
+        if self.transport != TRANSPORT_AUTO and (
+            self.n_ranks == 1 or self.backend != BACKEND_MULTIPROCESSING
+        ):
+            raise ScenarioError(
+                f"transport={self.transport!r} only applies to "
+                "multiprocessing runs (n_ranks > 1, "
+                "backend='multiprocessing'); serial and simcomm runs move "
+                "no rows between processes"
+            )
+        if (
+            self.adaptive
+            and self.n_ranks > 1
+            and self.backend == BACKEND_MULTIPROCESSING
+        ):
+            raise ScenarioError(
+                "adaptive cadence runs serial or on the simcomm backend; "
+                "the multiprocessing backend prefetches frozen worker chunks"
+            )
+
+    # -- derived views ---------------------------------------------------
+
+    @property
+    def serial(self) -> bool:
+        return self.n_ranks == 1
+
+    @property
+    def cacheable(self) -> bool:
+        """False when the config bypasses the result cache (faulted runs)."""
+        return self.faults is None
+
+    def want_crosscheck(self) -> bool:
+        """Effective cross-check decision (default: on for distributed)."""
+        if self.crosscheck is None:
+            return self.n_ranks > 1
+        return self.crosscheck
+
+    def replace(self, **changes) -> "RunConfig":
+        """A copy with ``changes`` applied (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+    def crosscheck_config(self) -> "RunConfig":
+        """The serial agreement leg's config: this one, ranks collapsed.
+
+        Inherits every field in :data:`CROSSCHECK_INHERITED` verbatim
+        and overrides exactly :data:`CROSSCHECK_OVERRIDES` — the two
+        legs can only diverge in rank topology, never in a knob that
+        shapes the fit.
+        """
+        return self.replace(
+            n_ranks=1,
+            backend=BACKEND_SIMCOMM,
+            transport=TRANSPORT_AUTO,
+            faults=None,
+            rebalance=False,
+            crosscheck=False,
+        )
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> Dict[str, object]:
+        """Strict-JSON form; :meth:`from_json` round-trips it."""
+        return {
+            "n_ranks": self.n_ranks,
+            "backend": self.backend,
+            "transport": self.transport,
+            "quick": self.quick,
+            "adaptive": self.adaptive,
+            "params": {k: json_safe(v) for k, v in sorted(self.params.items())},
+            "crosscheck": self.crosscheck,
+            "max_iterations": self.max_iterations,
+            "faults": self.faults.to_spec() if self.faults else None,
+            "rebalance": self.rebalance,
+            "kernels": self.kernels,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "RunConfig":
+        """Rebuild a config from :meth:`to_json` output.
+
+        Strict about unknown keys (a typo'd knob in a serve request
+        must not silently run with defaults); missing keys take their
+        defaults, so older schema-2 reports stay replayable as fields
+        are added.
+        """
+        if not isinstance(data, Mapping):
+            raise ScenarioError(
+                f"RunConfig.from_json expects a mapping, got "
+                f"{type(data).__name__}"
+            )
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ScenarioError(
+                f"RunConfig has no field(s) {unknown}; valid: {sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    # -- content addressing ----------------------------------------------
+
+    def cache_key(self, scenario: str) -> str:
+        """Canonical content hash of (resolved scenario request).
+
+        SHA-256 over the scenario name, the **resolved** parameter set
+        (spec defaults + ``quick`` overrides + this config's
+        ``params``) and every engine knob (see the class docstring for
+        what participates and why).  Stable across processes and
+        Python versions — the serving layer's content-addressed result
+        cache is keyed by this.
+        """
+        spec = get(scenario)
+        resolved = spec.params(quick=self.quick, overrides=self.params)
+        knobs = self.to_json()
+        knobs.pop("params", None)
+        payload = {
+            "scenario": spec.name,
+            "params": {k: repr(v) for k, v in sorted(resolved.items())},
+            "config": knobs,
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
 # runner
 # ----------------------------------------------------------------------
 
@@ -411,6 +662,9 @@ class ScenarioRun:
     rebalance: bool = False
     #: The *resolved* kernel backend the run trained on ("numpy"/"numba").
     kernels: str = "numpy"
+    #: The request that produced this run (embedded in ``to_json`` so
+    #: every schema-2 report is replayable from its own JSON).
+    config: Optional[RunConfig] = None
 
     @property
     def error(self) -> float:
@@ -436,9 +690,15 @@ class ScenarioRun:
         Strictly valid JSON: non-finite floats (a validator reporting
         ``error: inf`` on a failed run) are rendered as strings, never
         as the bare ``Infinity`` token strict parsers reject.
+
+        Schema 2: the payload embeds the resolved :class:`RunConfig`
+        under ``"config"``, so a stored report alone is enough to
+        re-run it (see :meth:`replay` / :func:`replay_report`).
         """
         return {
+            "schema": SCHEMA_VERSION,
             "scenario": self.name,
+            "config": self.config.to_json() if self.config else None,
             "ranks": self.n_ranks,
             "backend": self.backend,
             "transport": self.result.transport,
@@ -462,6 +722,87 @@ class ScenarioRun:
             "crosscheck": self.crosscheck,
             "ok": self.ok,
         }
+
+    def replay(self) -> "ScenarioRun":
+        """Re-run this run from its embedded config; assert bit-identity.
+
+        The engines are deterministic (pinned by the golden suite), so
+        a fresh run from the same :class:`RunConfig` must reproduce the
+        report byte-for-byte up to wall-clock noise: the comparison is
+        over :func:`replay_fingerprint` — the full ``to_json`` payload
+        minus timing fields and the (timing-triggered)
+        ``recovery_events`` audit trail.  Raises
+        :class:`~repro.errors.ScenarioError` on any divergence and
+        returns the fresh :class:`ScenarioRun` otherwise.
+        """
+        if self.config is None:
+            raise ScenarioError(
+                "cannot replay: this ScenarioRun carries no RunConfig "
+                "(built through a pre-schema-2 path)"
+            )
+        fresh = run_scenario(self.name, config=self.config)
+        mine = replay_fingerprint(self.to_json())
+        theirs = replay_fingerprint(fresh.to_json())
+        if mine != theirs:
+            raise ScenarioError(
+                f"replay of scenario {self.name!r} diverged from the "
+                "original run; the engines are deterministic, so this "
+                "means the code or the environment changed under the "
+                "report"
+            )
+        return fresh
+
+
+def replay_fingerprint(report: Mapping) -> str:
+    """Canonical JSON of a run report minus its non-deterministic fields.
+
+    Drops every key containing ``"seconds"`` (wall-clock noise) and the
+    ``recovery_events`` trail (rebalance decisions are triggered by
+    measured skew, so a faulted/rebalanced run records different events
+    run to run even though its fits are bit-identical).  Everything
+    else — fitted metrics, stop iterations, cadence counts, the
+    embedded config — must reproduce exactly.
+    """
+
+    def strip(value):
+        if isinstance(value, Mapping):
+            return {
+                k: strip(v)
+                for k, v in value.items()
+                if "seconds" not in k and k != "recovery_events"
+            }
+        if isinstance(value, (list, tuple)):
+            return [strip(v) for v in value]
+        return value
+
+    return json.dumps(strip(dict(report)), sort_keys=True, default=str)
+
+
+def replay_report(report: Mapping) -> "ScenarioRun":
+    """Replay a stored schema-2 report (the JSON alone, no live objects).
+
+    Rebuilds the :class:`RunConfig` embedded under ``"config"``, re-runs
+    the scenario, and asserts the fresh report matches the stored one
+    via :func:`replay_fingerprint`.  Returns the fresh run.
+    """
+    if not isinstance(report, Mapping) or "scenario" not in report:
+        raise ScenarioError(
+            "replay_report expects a ScenarioRun.to_json payload"
+        )
+    config_json = report.get("config")
+    if config_json is None:
+        raise ScenarioError(
+            f"report schema {report.get('schema', 1)!r} embeds no config; "
+            "only schema >= 2 reports are replayable"
+        )
+    config = RunConfig.from_json(config_json)
+    fresh = run_scenario(str(report["scenario"]), config=config)
+    if replay_fingerprint(report) != replay_fingerprint(fresh.to_json()):
+        raise ScenarioError(
+            f"replay of scenario {report['scenario']!r} diverged from "
+            "the stored report"
+        )
+    return fresh
 
 
 def crosscheck_analyses(
@@ -509,154 +850,153 @@ def crosscheck_analyses(
     }
 
 
+def _execute_leg(
+    spec: ScenarioSpec,
+    config: RunConfig,
+    merged: Mapping[str, object],
+    progress: Optional[Callable[[dict], None]] = None,
+):
+    """Build the engine ``config`` asks for and run one leg end to end."""
+    if config.n_ranks == 1:
+        engine = InSituEngine(
+            spec.app_factory(**merged),
+            policy=spec.policy,
+            quorum=spec.quorum,
+            cadence=spec.cadence_controller() if config.adaptive else None,
+            kernels=config.kernels,
+            name=spec.name,
+        )
+    elif config.backend == BACKEND_MULTIPROCESSING:
+        engine = DistributedEngine(
+            backend=config.backend,
+            n_ranks=config.n_ranks,
+            app_factory=functools.partial(spec.app_factory, **merged),
+            policy=spec.policy,
+            quorum=spec.quorum,
+            transport=config.transport,
+            kernels=config.kernels,
+            faults=config.faults,
+            rebalance=config.rebalance,
+            name=spec.name,
+        )
+    else:
+        engine = DistributedEngine(
+            spec.app_factory(**merged),
+            backend=config.backend,
+            n_ranks=config.n_ranks,
+            policy=spec.policy,
+            quorum=spec.quorum,
+            cadence=spec.cadence_controller() if config.adaptive else None,
+            kernels=config.kernels,
+            faults=config.faults,
+            rebalance=config.rebalance,
+            name=spec.name,
+        )
+    analyses = [
+        engine.add_analysis(a) for a in spec.analysis_factory(**merged)
+    ]
+    result = engine.run(
+        max_iterations=config.max_iterations, progress=progress
+    )
+    return engine, analyses, result
+
+
+#: The deprecated ``run_scenario`` keyword knobs, now RunConfig fields.
+_LEGACY_KNOBS = tuple(f.name for f in dataclasses.fields(RunConfig))
+
+
 def run_scenario(
     name: str,
+    config: Optional[RunConfig] = None,
     *,
-    n_ranks: int = 1,
-    backend: str = BACKEND_SIMCOMM,
-    transport: str = TRANSPORT_AUTO,
-    quick: bool = False,
-    adaptive: bool = False,
-    params: Optional[Mapping] = None,
-    crosscheck: Optional[bool] = None,
-    max_iterations: Optional[int] = None,
-    faults: Union[None, str, FaultPlan] = None,
-    rebalance: bool = False,
-    kernels: str = KERNEL_AUTO,
+    progress: Optional[Callable[[dict], None]] = None,
+    **knobs,
 ) -> ScenarioRun:
     """Resolve ``name`` and run it end to end (build, run, validate).
 
-    ``n_ranks == 1`` drives the serial
-    :class:`~repro.engine.InSituEngine`; more ranks shard the scenario
-    through :class:`~repro.engine.DistributedEngine` on ``backend``.
-    ``adaptive`` enables the spec's adaptive collection cadence
-    (``ScenarioSpec.cadence`` must opt in; simcomm/serial only) — the
-    run trades full-cadence sampling for model-verified forecasts, and
-    the validator bound still applies.  ``transport`` picks the
-    multiprocessing row path (``"shared_memory"``/``"shm"``,
-    ``"pickle"`` or the default ``"auto"``); naming a concrete
-    transport with any other backend is an error — serial and simcomm
-    runs move no rows between processes.  ``kernels`` picks the
-    hot-loop backend (``"auto"``/``"numpy"``/``"numba"`` plus aliases;
-    see :mod:`repro.core.kernels`) — the engine resolves and validates
-    it eagerly, and the :class:`ScenarioRun` records the concrete
-    backend the run trained on.  ``crosscheck`` (default: on
-    for distributed runs) additionally runs a fresh serial engine over
-    a fresh app and reports the divergence between the two fitted
-    analysis sets — the CI smoke matrix fails a scenario whose report
-    exceeds :data:`DIVERGENCE_TOL`.  The cross-check leg inherits
-    ``adaptive``, so an adaptive distributed run is compared against
-    an adaptive serial run (the cadence decisions are deterministic,
-    so agreement is still exact).
+    The primary signature is ``run_scenario(name, config=RunConfig(...))``
+    — every engine knob lives on the :class:`RunConfig` request object,
+    which validates its combination eagerly, serializes to JSON and
+    hashes canonically (the serving layer's cache key).  See
+    :class:`RunConfig` for the knob semantics; in brief:
 
-    ``faults`` injects a deterministic
-    :class:`~repro.engine.faults.FaultPlan` (or its ``--faults`` spec
-    string) into the distributed run — rank kills, slowdowns, transport
-    drops — and ``rebalance`` enables skew-triggered shard migration;
-    both are distributed-only (a serial run has no ranks to kill or
-    rebalance).  Faulted runs stay bit-identical to serial (dead shards
-    are resampled from rank 0's deterministic replica), so the
-    cross-check and its :data:`DIVERGENCE_TOL` bound apply unchanged;
-    the recovery audit trail lands in ``to_json()['recovery_events']``.
+    * ``n_ranks == 1`` drives the serial
+      :class:`~repro.engine.InSituEngine`; more ranks shard the
+      scenario through :class:`~repro.engine.DistributedEngine` on
+      ``config.backend`` (``transport`` picks the multiprocessing row
+      path, ``kernels`` the hot-loop backend).
+    * ``crosscheck`` (default: on for distributed runs) additionally
+      runs a fresh **serial** leg built from
+      :meth:`RunConfig.crosscheck_config` — the same config with only
+      the rank-topology/fault fields overridden — and reports the
+      divergence between the two fitted analysis sets; the CI smoke
+      matrix fails a scenario whose report exceeds
+      :data:`DIVERGENCE_TOL`.
+    * ``faults`` / ``rebalance`` inject deterministic failures and
+      skew-triggered shard migration into distributed runs; results
+      stay bit-identical to serial, with the recovery audit trail in
+      ``to_json()['recovery_events']``.
+
+    ``progress`` (keyword-only, not part of the request) streams
+    incremental analysis state: it receives a
+    :func:`~repro.engine.driver.progress_snapshot` after every
+    dispatched iteration of the main leg (never of the cross-check
+    leg).  This is the seam ``repro serve`` threads its NDJSON
+    subscribers through.
+
+    The pre-:class:`RunConfig` keyword form
+    (``run_scenario(name, quick=True, n_ranks=2, ...)``) still works:
+    the knobs are packed into a ``RunConfig`` and a
+    :class:`DeprecationWarning` is emitted.
     """
+    if config is not None:
+        if knobs:
+            raise ScenarioError(
+                "pass either config=RunConfig(...) or legacy knob "
+                f"keywords, not both (got config and {sorted(knobs)})"
+            )
+        if not isinstance(config, RunConfig):
+            raise ScenarioError(
+                f"config must be a RunConfig, got {type(config).__name__}"
+            )
+    else:
+        unknown = sorted(set(knobs) - set(_LEGACY_KNOBS))
+        if unknown:
+            raise ScenarioError(
+                f"run_scenario() got unknown knob(s) {unknown}; "
+                f"RunConfig fields: {sorted(_LEGACY_KNOBS)}"
+            )
+        if knobs:
+            warnings.warn(
+                "passing engine knobs as run_scenario(**keywords) is "
+                "deprecated; build a RunConfig and call "
+                "run_scenario(name, config=RunConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        config = RunConfig(**knobs)
+
     spec = get(name)
-    backend = resolve_backend(backend)
-    transport = resolve_transport_name(transport)
-    kernels = resolve_kernels_name(kernels)
-    fault_plan = as_fault_plan(faults)
-    if n_ranks <= 0:
-        raise ScenarioError(f"n_ranks must be positive, got {n_ranks}")
-    if n_ranks == 1 and (fault_plan is not None or rebalance):
-        raise ScenarioError(
-            "faults/rebalance only apply to distributed runs "
-            "(n_ranks > 1); a serial run has no ranks to kill, slow or "
-            "rebalance"
-        )
-    if transport != TRANSPORT_AUTO and (
-        n_ranks == 1 or backend != BACKEND_MULTIPROCESSING
-    ):
-        raise ScenarioError(
-            f"transport={transport!r} only applies to multiprocessing "
-            "runs (n_ranks > 1, backend='multiprocessing'); serial and "
-            "simcomm runs move no rows between processes"
-        )
-    if n_ranks > 1 and backend not in spec.backends:
+    if config.n_ranks > 1 and config.backend not in spec.backends:
         raise ScenarioError(
             f"scenario {name!r} supports backends {spec.backends}, "
-            f"not {backend!r}"
+            f"not {config.backend!r}"
         )
-    if adaptive and not spec.adaptive_supported:
+    if config.adaptive and not spec.adaptive_supported:
         raise ScenarioError(
             f"scenario {name!r} does not support adaptive cadence (its "
             "analyses need full-cadence collection); scenarios opting in "
             "declare ScenarioSpec.cadence"
         )
-    if adaptive and n_ranks > 1 and backend == BACKEND_MULTIPROCESSING:
-        raise ScenarioError(
-            "adaptive cadence runs serial or on the simcomm backend; the "
-            "multiprocessing backend prefetches frozen worker chunks"
-        )
-    merged = spec.params(quick=quick, overrides=params)
-    if crosscheck is None:
-        crosscheck = n_ranks > 1
-
-    def _serial_leg():
-        app = spec.app_factory(**merged)
-        engine = InSituEngine(
-            app,
-            policy=spec.policy,
-            quorum=spec.quorum,
-            cadence=spec.cadence_controller() if adaptive else None,
-            kernels=kernels,
-            name=name,
-        )
-        analyses = [
-            engine.add_analysis(a) for a in spec.analysis_factory(**merged)
-        ]
-        result = engine.run(max_iterations=max_iterations)
-        return engine, analyses, result
+    merged = spec.params(quick=config.quick, overrides=config.params)
 
     start = time.perf_counter()
-    if n_ranks == 1:
-        engine, analyses, result = _serial_leg()
-        app = engine.app
-    else:
-        if backend == BACKEND_MULTIPROCESSING:
-            import functools
-
-            engine = DistributedEngine(
-                backend=backend,
-                n_ranks=n_ranks,
-                app_factory=functools.partial(spec.app_factory, **merged),
-                policy=spec.policy,
-                quorum=spec.quorum,
-                transport=transport,
-                kernels=kernels,
-                faults=fault_plan,
-                rebalance=rebalance,
-                name=name,
-            )
-        else:
-            engine = DistributedEngine(
-                spec.app_factory(**merged),
-                backend=backend,
-                n_ranks=n_ranks,
-                policy=spec.policy,
-                quorum=spec.quorum,
-                cadence=spec.cadence_controller() if adaptive else None,
-                kernels=kernels,
-                faults=fault_plan,
-                rebalance=rebalance,
-                name=name,
-            )
-        analyses = [
-            engine.add_analysis(a) for a in spec.analysis_factory(**merged)
-        ]
-        result = engine.run(max_iterations=max_iterations)
-        app = engine.app
+    engine, analyses, result = _execute_leg(
+        spec, config, merged, progress=progress
+    )
     seconds = time.perf_counter() - start
 
-    metrics = dict(spec.validator(app, analyses, result, **merged))
+    metrics = dict(spec.validator(engine.app, analyses, result, **merged))
     if "error" not in metrics:
         raise ScenarioError(
             f"scenario {name!r}: validator returned no 'error' metric "
@@ -664,8 +1004,14 @@ def run_scenario(
         )
 
     report: Optional[Dict[str, object]] = None
-    if crosscheck:
-        _, serial_analyses, serial_result = _serial_leg()
+    if config.want_crosscheck():
+        # Both legs run from ONE config: the serial twin differs in
+        # exactly CROSSCHECK_OVERRIDES, so a newly added knob is
+        # inherited (or the partition regression test fails) and the
+        # legs cannot silently diverge.
+        _, serial_analyses, serial_result = _execute_leg(
+            spec, config.crosscheck_config(), merged
+        )
         report = crosscheck_analyses(serial_analyses, analyses)
         report["stops_match"] = serial_result.stopped_at == result.stopped_at
         report["iterations_match"] = serial_result.iterations == result.iterations
@@ -679,9 +1025,9 @@ def run_scenario(
 
     return ScenarioRun(
         name=name,
-        n_ranks=n_ranks,
-        backend=backend if n_ranks > 1 else "serial",
-        quick=quick,
+        n_ranks=config.n_ranks,
+        backend=config.backend if config.n_ranks > 1 else "serial",
+        quick=config.quick,
         params=merged,
         result=result,
         analyses=tuple(analyses),
@@ -689,9 +1035,10 @@ def run_scenario(
         tolerance=spec.tolerance,
         seconds=seconds,
         crosscheck=report,
-        adaptive=adaptive,
-        faults=fault_plan,
-        rebalance=rebalance,
+        adaptive=config.adaptive,
+        faults=config.faults,
+        rebalance=config.rebalance,
         # The engine collapsed "auto" to the concrete backend it ran on.
         kernels=engine.kernels,
+        config=config,
     )

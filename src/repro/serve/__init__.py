@@ -1,0 +1,55 @@
+"""Analysis-as-a-service: the ``repro serve`` subsystem.
+
+Turns the one-shot scenario runner into a long-lived service — an
+asyncio HTTP server multiplexing requests over a warm pool of
+pre-imported worker processes, streaming incremental analysis state as
+NDJSON and answering repeated identical requests bit-for-bit from a
+content-addressed result cache.
+
+Layers (bottom-up):
+
+* :mod:`repro.serve.protocol` — :class:`ServeRequest` parsing and the
+  NDJSON event/result framing (raw-byte report splicing).
+* :mod:`repro.serve.cache` — :class:`ResultCache`, the LRU
+  byte-budgeted store keyed by :meth:`RunConfig.cache_key`.
+* :mod:`repro.serve.pool` — :class:`WorkerPool`, warm worker processes
+  with death supervision and per-iteration progress forwarding.
+* :mod:`repro.serve.server` — :class:`AnalysisServer` routing
+  ``/run`` / ``/stats`` / ``/healthz`` / ``/scenarios``, plus the
+  blocking :func:`serve` entry the CLI calls.
+* :mod:`repro.serve.client` — stdlib-socket :class:`ServeClient` and
+  the in-process :class:`ServerThread` harness tests and benchmarks
+  drive the real server through.
+"""
+
+from repro.serve.cache import DEFAULT_CACHE_BYTES, ResultCache
+from repro.serve.client import RunResponse, ServeClient, ServerThread
+from repro.serve.pool import WorkerPool
+from repro.serve.protocol import (
+    ServeRequest,
+    canonical_report_bytes,
+    event_line,
+    iter_ndjson,
+    parse_run_request,
+    result_line,
+    split_result_line,
+)
+from repro.serve.server import AnalysisServer, serve
+
+__all__ = [
+    "AnalysisServer",
+    "DEFAULT_CACHE_BYTES",
+    "ResultCache",
+    "RunResponse",
+    "ServeClient",
+    "ServeRequest",
+    "ServerThread",
+    "WorkerPool",
+    "canonical_report_bytes",
+    "event_line",
+    "iter_ndjson",
+    "parse_run_request",
+    "result_line",
+    "serve",
+    "split_result_line",
+]

@@ -1,0 +1,78 @@
+"""Content-addressed result cache with an LRU byte budget.
+
+Keys are :meth:`RunConfig.cache_key` digests — SHA-256 over the
+resolved scenario parameters plus every result-relevant engine knob —
+so a hit is only possible for a request whose *semantics* are
+identical, and the stored value is the worker's canonical report bytes,
+returned verbatim (bit-identical) on every subsequent hit.
+
+The cache is bounded by bytes, not entries: reports vary from a few KB
+(quick analytic scenarios) to much larger traces, and the budget is
+what an operator actually provisions.  Eviction is least-recently-used;
+a single report larger than the whole budget is simply not stored.
+
+Single event-loop writer — no locking.  The pool's worker processes
+never see the cache; it lives in the server process only.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+#: Default cache budget: 64 MiB of canonical report bytes.
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
+
+
+class ResultCache:
+    """LRU byte-budgeted map of cache key → canonical report bytes."""
+
+    def __init__(self, max_bytes: int = DEFAULT_CACHE_BYTES):
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> Optional[bytes]:
+        """The stored bytes for ``key`` (refreshing recency), or None."""
+        payload = self._entries.get(key)
+        if payload is None:
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return payload
+
+    def put(self, key: str, payload: bytes) -> bool:
+        """Store ``payload``; evict LRU entries to fit. False if too big."""
+        size = len(payload)
+        if size > self.max_bytes:
+            return False
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._bytes -= len(old)
+        while self._bytes + size > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= len(evicted)
+            self._evictions += 1
+        self._entries[key] = payload
+        self._bytes += size
+        return True
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the ``/stats`` endpoint."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "evictions": self._evictions,
+        }

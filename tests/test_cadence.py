@@ -54,8 +54,12 @@ class TestAnalyticErrorBounds:
         [("heat-diffusion", 2.0), ("oscillator-ringdown", 1.1)],
     )
     def test_adaptive_within_stated_tolerance(self, name, min_reduction):
-        baseline = scenarios.run_scenario(name, quick=True)
-        adaptive = scenarios.run_scenario(name, quick=True, adaptive=True)
+        baseline = scenarios.run_scenario(
+            name, config=scenarios.RunConfig(quick=True)
+        )
+        adaptive = scenarios.run_scenario(
+            name, config=scenarios.RunConfig(quick=True, adaptive=True)
+        )
         assert baseline.ok and adaptive.ok
         assert adaptive.error <= adaptive.tolerance
         totals = adaptive.result.cadence["totals"]
@@ -70,7 +74,8 @@ class TestAnalyticErrorBounds:
 
     def test_adaptive_serial_and_two_rank_bit_identical(self):
         run = scenarios.run_scenario(
-            "heat-diffusion", n_ranks=2, quick=True, adaptive=True
+            "heat-diffusion",
+            config=scenarios.RunConfig(n_ranks=2, quick=True, adaptive=True),
         )
         report = run.crosscheck
         assert report is not None
@@ -85,7 +90,10 @@ class TestAnalyticErrorBounds:
         spec = scenarios.get("heat-diffusion")
         end = spec.params(quick=True)["train_iterations"]
         run = scenarios.run_scenario(
-            "heat-diffusion", quick=True, adaptive=True, max_iterations=end
+            "heat-diffusion",
+            config=scenarios.RunConfig(
+                quick=True, adaptive=True, max_iterations=end
+            ),
         )
         assert run.result.stopped_at == {"heat-ar": end}
         assert run.result.terminated_early
@@ -93,7 +101,9 @@ class TestAnalyticErrorBounds:
     def test_adaptive_report_attached_to_run_payload(self):
         import json
 
-        run = scenarios.run_scenario("heat-diffusion", quick=True, adaptive=True)
+        run = scenarios.run_scenario(
+            "heat-diffusion", config=scenarios.RunConfig(quick=True, adaptive=True)
+        )
         payload = run.to_json()
         json.dumps(payload)
         assert payload["adaptive"] is True
@@ -108,13 +118,17 @@ class TestAdaptiveGuards:
     def test_unsupported_scenarios_reject_adaptive(self, name):
         assert not scenarios.get(name).adaptive_supported
         with pytest.raises(ScenarioError, match="adaptive"):
-            scenarios.run_scenario(name, quick=True, adaptive=True)
+            scenarios.run_scenario(
+                name, config=scenarios.RunConfig(quick=True, adaptive=True)
+            )
 
     def test_multiprocessing_backend_rejects_adaptive(self):
         with pytest.raises(ScenarioError, match="multiprocessing"):
             scenarios.run_scenario(
-                "heat-diffusion", n_ranks=2, backend="mp",
-                quick=True, adaptive=True,
+                "heat-diffusion",
+                config=scenarios.RunConfig(
+                    n_ranks=2, backend="mp", quick=True, adaptive=True
+                ),
             )
 
     def test_distributed_engine_rejects_mp_cadence(self):

@@ -61,7 +61,9 @@ def _assert_run_matches_golden(run, golden):
 class TestGoldenParity:
     @pytest.mark.parametrize("name", sorted(GOLDEN))
     def test_serial_matches_pre_refactor_golden(self, name):
-        run = scenarios.run_scenario(name, quick=True)
+        run = scenarios.run_scenario(
+            name, config=scenarios.RunConfig(quick=True)
+        )
         _assert_run_matches_golden(run, GOLDEN[name])
         error = GOLDEN[name]["error"]
         if isinstance(error, float):
@@ -70,7 +72,8 @@ class TestGoldenParity:
     @pytest.mark.parametrize("name", sorted(GOLDEN))
     def test_two_rank_matches_pre_refactor_golden(self, name):
         run = scenarios.run_scenario(
-            name, n_ranks=2, quick=True, crosscheck=False
+            name,
+            config=scenarios.RunConfig(n_ranks=2, quick=True, crosscheck=False),
         )
         _assert_run_matches_golden(run, GOLDEN[name])
 
@@ -114,3 +117,83 @@ class TestDriverMechanics:
         engine = DistributedEngine(ReplayApp(np.ones((4, 3))), n_ranks=2)
         assert isinstance(engine.driver, ExecutionDriver)
         assert engine.driver.n_ranks == 2
+
+
+# ----------------------------------------------------------------------
+# progress hook: incremental analysis state per dispatched iteration
+# ----------------------------------------------------------------------
+
+
+class TestProgressHook:
+    def test_serial_snapshots_track_every_iteration(self):
+        events = []
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(quick=True, crosscheck=False),
+            progress=events.append,
+        )
+        assert [e["iteration"] for e in events] == list(
+            range(1, run.result.iterations + 1)
+        )
+        assert all(not e["terminated"] for e in events[:-1])
+        assert events[-1]["terminated"]
+        # coefficients appear once the model trains and converge to
+        # the final fitted values
+        fitted = [e for e in events if "coefficients" in e["analyses"][0]]
+        assert len(fitted) >= 2
+        final = fitted[-1]["analyses"][0]
+        model = run.analyses[0].model
+        assert final["coefficients"] == pytest.approx(
+            list(model.coefficients), abs=0
+        )
+        assert final["stopped_at"] == run.result.stopped_at["heat-ar"]
+        assert final["converged"] is True
+
+    def test_snapshot_reports_wavefront_position(self):
+        events = []
+        run = scenarios.run_scenario(
+            "advection-front",
+            config=scenarios.RunConfig(quick=True, crosscheck=False),
+            progress=events.append,
+        )
+        tracked = [
+            a
+            for e in events
+            for a in e["analyses"]
+            if "wavefront" in a
+        ]
+        assert tracked, "no wavefront snapshots streamed"
+        locations = [a["wavefront"]["location"] for a in tracked]
+        # the front only advances
+        assert locations == sorted(locations)
+        last = tracked[-1]["wavefront"]
+        event = run.analyses[0].threshold_events[-1]
+        assert last["iteration"] == event.iteration
+        assert last["location"] == event.location
+
+    def test_distributed_snapshots_match_serial(self):
+        serial_events, dist_events = [], []
+        config = scenarios.RunConfig(quick=True, crosscheck=False)
+        scenarios.run_scenario(
+            "heat-diffusion", config=config, progress=serial_events.append
+        )
+        scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(n_ranks=2, quick=True, crosscheck=False),
+            progress=dist_events.append,
+        )
+        assert len(serial_events) == len(dist_events)
+        assert serial_events[-1]["analyses"][0]["coefficients"] == \
+            dist_events[-1]["analyses"][0]["coefficients"]
+
+    def test_progress_never_fires_for_crosscheck_leg(self):
+        events = []
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(n_ranks=2, quick=True),
+            progress=events.append,
+        )
+        assert run.crosscheck is not None
+        # one snapshot per main-leg iteration — the serial cross-check
+        # leg contributes none
+        assert len(events) == run.result.iterations

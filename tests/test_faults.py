@@ -432,14 +432,18 @@ MP_SCENARIOS = [
 class TestScenarioRecoveryAcceptance:
     @pytest.mark.parametrize("name", MP_SCENARIOS)
     def test_lost_rank_matches_serial(self, name):
-        serial = scenarios.run_scenario(name, quick=True)
+        serial = scenarios.run_scenario(
+            name, config=scenarios.RunConfig(quick=True)
+        )
         faulted = scenarios.run_scenario(
             name,
-            n_ranks=4,
-            backend="multiprocessing",
-            quick=True,
-            faults="kill:rank=2,iter=10",
-            crosscheck=False,
+            config=scenarios.RunConfig(
+                n_ranks=4,
+                backend="multiprocessing",
+                quick=True,
+                faults="kill:rank=2,iter=10",
+                crosscheck=False,
+            ),
         )
         assert faulted.ok, faulted.metrics
         deltas = []
@@ -469,11 +473,15 @@ class TestScenarioRecoveryAcceptance:
     def test_faults_rejected_on_serial_runs(self):
         with pytest.raises(ScenarioError, match="distributed"):
             scenarios.run_scenario(
-                "heat-diffusion", quick=True, faults="kill:rank=1,iter=4"
+                "heat-diffusion",
+                config=scenarios.RunConfig(
+                    quick=True, faults="kill:rank=1,iter=4"
+                ),
             )
         with pytest.raises(ScenarioError, match="distributed"):
             scenarios.run_scenario(
-                "heat-diffusion", quick=True, rebalance=True
+                "heat-diffusion",
+                config=scenarios.RunConfig(quick=True, rebalance=True),
             )
 
 

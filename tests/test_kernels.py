@@ -161,11 +161,14 @@ class TestEngineKnob:
     def test_scenario_layer_validates_names(self):
         with pytest.raises(ReproError, match="unknown kernel"):
             scenarios.run_scenario(
-                "heat-diffusion", quick=True, kernels="fortran"
+                "heat-diffusion",
+                config=scenarios.RunConfig(quick=True, kernels="fortran"),
             )
 
     def test_scenario_run_records_resolved_backend(self, numpy_only):
-        run = scenarios.run_scenario("heat-diffusion", quick=True)
+        run = scenarios.run_scenario(
+            "heat-diffusion", config=scenarios.RunConfig(quick=True)
+        )
         assert run.kernels == kernels.KERNEL_NUMPY
         assert run.to_json()["kernels"] == kernels.KERNEL_NUMPY
 
@@ -319,10 +322,12 @@ needs_numba = pytest.mark.skipif(
 class TestCompiledParity:
     def _run_pair(self, name, **kwargs):
         interpreted = scenarios.run_scenario(
-            name, quick=True, kernels="numpy", **kwargs
+            name,
+            config=scenarios.RunConfig(quick=True, kernels="numpy", **kwargs),
         )
         compiled = scenarios.run_scenario(
-            name, quick=True, kernels="numba", **kwargs
+            name,
+            config=scenarios.RunConfig(quick=True, kernels="numba", **kwargs),
         )
         assert interpreted.kernels == kernels.KERNEL_NUMPY
         assert compiled.kernels == kernels.KERNEL_NUMBA

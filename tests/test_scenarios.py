@@ -146,12 +146,15 @@ class TestRunner:
         # so the spec declares simcomm only.
         with pytest.raises(ScenarioError, match="supports backends"):
             scenarios.run_scenario(
-                "wdmerger-detonation", n_ranks=2, backend="mp", quick=True
+                "wdmerger-detonation",
+                config=scenarios.RunConfig(n_ranks=2, backend="mp", quick=True),
             )
 
     def test_nonpositive_ranks_rejected(self):
         with pytest.raises(ScenarioError, match="n_ranks"):
-            scenarios.run_scenario("heat-diffusion", n_ranks=0)
+            scenarios.run_scenario(
+                "heat-diffusion", config=scenarios.RunConfig(n_ranks=0)
+            )
 
     def test_transport_alias_resolution(self):
         assert scenarios.resolve_transport_name("shm") == "shared_memory"
@@ -162,14 +165,16 @@ class TestRunner:
 
     def test_transport_needs_multiprocessing(self):
         with pytest.raises(ScenarioError, match="multiprocessing"):
-            scenarios.run_scenario("heat-diffusion", quick=True, transport="pickle")
+            scenarios.run_scenario(
+                "heat-diffusion",
+                config=scenarios.RunConfig(quick=True, transport="pickle"),
+            )
         with pytest.raises(ScenarioError, match="multiprocessing"):
             scenarios.run_scenario(
                 "heat-diffusion",
-                n_ranks=2,
-                backend="simcomm",
-                transport="shm",
-                quick=True,
+                config=scenarios.RunConfig(
+                    n_ranks=2, backend="simcomm", transport="shm", quick=True
+                ),
             )
 
     def test_validator_must_report_error(self):
@@ -187,7 +192,9 @@ class TestRunner:
     def test_run_json_payload(self):
         import json
 
-        run = scenarios.run_scenario("oscillator-ringdown", quick=True)
+        run = scenarios.run_scenario(
+            "oscillator-ringdown", config=scenarios.RunConfig(quick=True)
+        )
         payload = run.to_json()
         json.dumps(payload)
         assert payload["scenario"] == "oscillator-ringdown"
@@ -201,7 +208,8 @@ class TestRunner:
         # An uncrossable threshold leaves no front events; the validator
         # reports error=inf, which must not leak a bare Infinity token.
         run = scenarios.run_scenario(
-            "advection-front", quick=True, params={"threshold": 2.0}
+            "advection-front",
+            config=scenarios.RunConfig(quick=True, params={"threshold": 2.0}),
         )
         assert not run.ok
         payload = run.to_json()
@@ -237,7 +245,9 @@ class TestRunner:
 class TestRoundTrip:
     @pytest.mark.parametrize("name", BUILTINS)
     def test_distributed_matches_serial_and_ground_truth(self, name):
-        run = scenarios.run_scenario(name, n_ranks=2, quick=True)
+        run = scenarios.run_scenario(
+            name, config=scenarios.RunConfig(n_ranks=2, quick=True)
+        )
         # Ground truth within the spec's tested tolerance.
         assert np.isfinite(run.error)
         assert run.error <= run.tolerance
@@ -252,14 +262,17 @@ class TestRoundTrip:
         assert run.ok
 
     def test_serial_run_skips_crosscheck_by_default(self):
-        run = scenarios.run_scenario("heat-diffusion", quick=True)
+        run = scenarios.run_scenario(
+            "heat-diffusion", config=scenarios.RunConfig(quick=True)
+        )
         assert run.crosscheck is None
         assert run.backend == "serial"
         assert run.ok
 
     def test_multiprocessing_backend_roundtrip(self):
         run = scenarios.run_scenario(
-            "heat-diffusion", n_ranks=2, backend="mp", quick=True
+            "heat-diffusion",
+            config=scenarios.RunConfig(n_ranks=2, backend="mp", quick=True),
         )
         assert run.backend == "multiprocessing"
         assert run.result.transport in ("shared_memory", "pickle")
@@ -269,10 +282,9 @@ class TestRoundTrip:
     def test_multiprocessing_pickle_transport_roundtrip(self):
         run = scenarios.run_scenario(
             "heat-diffusion",
-            n_ranks=2,
-            backend="mp",
-            transport="pickle",
-            quick=True,
+            config=scenarios.RunConfig(
+                n_ranks=2, backend="mp", transport="pickle", quick=True
+            ),
         )
         assert run.result.transport == "pickle"
         assert run.ok
@@ -354,3 +366,180 @@ class TestAdapterRegistry:
 
         app = as_simulation_app(LuleshSimulation(8, maintain_field=False))
         assert isinstance(app, LuleshApp)
+
+
+# ----------------------------------------------------------------------
+# RunConfig: the request object behind run_scenario and repro serve
+# ----------------------------------------------------------------------
+
+
+class TestRunConfig:
+    def test_normalizes_aliases_at_construction(self):
+        config = scenarios.RunConfig(
+            n_ranks=2, backend="mp", transport="shm", kernels="np"
+        )
+        assert config.backend == "multiprocessing"
+        assert config.transport == "shared_memory"
+        assert config.kernels == "numpy"
+
+    def test_validates_eagerly(self):
+        with pytest.raises(ScenarioError, match="n_ranks"):
+            scenarios.RunConfig(n_ranks=0)
+        with pytest.raises(ScenarioError, match="distributed"):
+            scenarios.RunConfig(faults="kill:rank=1,iter=4")
+        with pytest.raises(ScenarioError, match="multiprocessing"):
+            scenarios.RunConfig(transport="pickle")
+        with pytest.raises(ScenarioError, match="adaptive"):
+            scenarios.RunConfig(n_ranks=2, backend="mp", adaptive=True)
+
+    def test_json_round_trip(self):
+        config = scenarios.RunConfig(
+            n_ranks=4,
+            backend="mp",
+            transport="pickle",
+            quick=True,
+            params={"train_iterations": 64},
+            faults="kill:rank=2,iter=40",
+            max_iterations=100,
+        )
+        assert scenarios.RunConfig.from_json(config.to_json()) == config
+
+    def test_from_json_rejects_unknown_fields(self):
+        with pytest.raises(ScenarioError, match="no field"):
+            scenarios.RunConfig.from_json({"warp_factor": 9})
+
+    def test_frozen(self):
+        import dataclasses
+
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            scenarios.RunConfig().quick = True
+
+    def test_legacy_kwargs_warn_and_still_run(self):
+        with pytest.warns(DeprecationWarning, match="RunConfig"):
+            run = scenarios.run_scenario(
+                "heat-diffusion", quick=True, crosscheck=False,
+                max_iterations=8,
+            )
+        assert run.result.iterations == 8
+        assert run.config == scenarios.RunConfig(
+            quick=True, crosscheck=False, max_iterations=8
+        )
+
+    def test_config_and_kwargs_are_exclusive(self):
+        with pytest.raises(ScenarioError, match="not both"):
+            scenarios.run_scenario(
+                "heat-diffusion",
+                config=scenarios.RunConfig(quick=True),
+                quick=True,
+            )
+
+    def test_unknown_kwargs_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown knob"):
+            scenarios.run_scenario("heat-diffusion", turbo=True)
+
+    def test_config_must_be_runconfig(self):
+        with pytest.raises(ScenarioError, match="RunConfig"):
+            scenarios.run_scenario("heat-diffusion", config={"quick": True})
+
+
+class TestCrosscheckConfigPartition:
+    def test_every_field_is_inherited_or_overridden(self):
+        # The anti-drift regression: a knob added to RunConfig must be
+        # explicitly classified — either the serial cross-check twin
+        # inherits it, or it is in the override set.  Forgetting both
+        # fails here; claiming both fails here too.
+        import dataclasses
+
+        fields = {f.name for f in dataclasses.fields(scenarios.RunConfig)}
+        overrides = scenarios.CROSSCHECK_OVERRIDES
+        inherited = scenarios.CROSSCHECK_INHERITED
+        assert overrides | inherited == fields
+        assert overrides & inherited == frozenset()
+
+    def test_crosscheck_config_overrides_exactly_the_declared_set(self):
+        config = scenarios.RunConfig(
+            n_ranks=4,
+            backend="mp",
+            transport="pickle",
+            quick=True,
+            params={"train_iterations": 64},
+            faults="kill:rank=2,iter=40",
+            rebalance=True,
+            max_iterations=100,
+            kernels="numpy",
+        )
+        twin = config.crosscheck_config()
+        changed = {
+            name
+            for name in (f.name for f in __import__("dataclasses").fields(config))
+            if getattr(twin, name) != getattr(config, name)
+        }
+        assert changed <= scenarios.CROSSCHECK_OVERRIDES
+        # and the twin is the serial, fault-free leg
+        assert twin.n_ranks == 1
+        assert twin.faults is None and not twin.rebalance
+        assert not twin.want_crosscheck()
+        # every inherited knob really is inherited
+        for name in scenarios.CROSSCHECK_INHERITED:
+            assert getattr(twin, name) == getattr(config, name)
+
+    def test_adaptive_distributed_crosschecks_adaptively(self):
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(n_ranks=2, quick=True, adaptive=True),
+        )
+        assert run.crosscheck is not None and run.ok
+        assert run.config.crosscheck_config().adaptive is True
+
+
+class TestSchema2AndReplay:
+    def test_payload_embeds_config_under_schema_2(self):
+        config = scenarios.RunConfig(quick=True, crosscheck=False)
+        run = scenarios.run_scenario("heat-diffusion", config=config)
+        payload = run.to_json()
+        assert payload["schema"] == scenarios.SCHEMA_VERSION == 2
+        assert payload["config"] == config.to_json()
+        assert scenarios.RunConfig.from_json(payload["config"]) == config
+
+    def test_replay_reproduces_bit_identically(self):
+        run = scenarios.run_scenario(
+            "oscillator-ringdown",
+            config=scenarios.RunConfig(quick=True),
+        )
+        fresh = run.replay()
+        assert scenarios.replay_fingerprint(
+            fresh.to_json()
+        ) == scenarios.replay_fingerprint(run.to_json())
+
+    def test_replay_report_from_stored_payload(self):
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(quick=True, max_iterations=32),
+        )
+        stored = run.to_json()
+        fresh = scenarios.replay_report(stored)
+        assert fresh.result.iterations == 32
+
+    def test_replay_without_config_rejected(self):
+        import dataclasses as _dc
+
+        run = scenarios.run_scenario(
+            "heat-diffusion", config=scenarios.RunConfig(quick=True)
+        )
+        legacy = _dc.replace(run, config=None)
+        with pytest.raises(ScenarioError, match="RunConfig"):
+            legacy.replay()
+
+    def test_fingerprint_ignores_timing_only(self):
+        run = scenarios.run_scenario(
+            "heat-diffusion", config=scenarios.RunConfig(quick=True)
+        )
+        payload = run.to_json()
+        slower = dict(payload, seconds=payload["seconds"] + 10.0)
+        assert scenarios.replay_fingerprint(slower) == scenarios.replay_fingerprint(
+            payload
+        )
+        drifted = dict(payload, iterations=payload["iterations"] + 1)
+        assert scenarios.replay_fingerprint(drifted) != scenarios.replay_fingerprint(
+            payload
+        )
