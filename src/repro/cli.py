@@ -21,8 +21,11 @@ Three subcommands drive the scenario registry
     injects deterministic failures (rank kills, slowdowns, transport
     drops) into the distributed run and ``--rebalance`` migrates work
     away from slow ranks; both leave results bit-identical to serial,
-    so the cross-check still applies.  Exit status 1 on validation
-    failure or serial/distributed divergence.
+    so the cross-check still applies.  ``--pipeline on|off|auto``
+    controls the multiprocessing backend's speculative chunk pipeline
+    (worker stepping overlapped with rank-0 collection and training;
+    also bit-identical).  Exit status 1 on validation failure or
+    serial/distributed divergence.
 
 ``bench``
     Time every (or the named) scenario serial and distributed, print a
@@ -119,6 +122,7 @@ def _cmd_run(args) -> int:
         n_ranks=args.ranks,
         backend=args.backend,
         transport=args.transport,
+        pipeline=args.pipeline,
         kernels=args.kernels,
         quick=args.quick,
         adaptive=args.adaptive,
@@ -229,6 +233,7 @@ def _cmd_bench(args) -> int:
                     n_ranks=args.ranks,
                     backend=backend,
                     transport=args.transport,
+                    pipeline=args.pipeline,
                     kernels=args.kernels,
                     quick=args.quick,
                     crosscheck=True,
@@ -325,6 +330,14 @@ def build_parser() -> argparse.ArgumentParser:
         "auto picks shared_memory when available, else pickle)",
     )
     p_run.add_argument(
+        "--pipeline",
+        default="auto",
+        choices=sorted(set(scenarios.spec.PIPELINE_ALIASES)),
+        help="multiprocessing chunk pipelining (on overlaps worker "
+        "stepping with rank-0 collection and training; auto = on for "
+        "multi-rank mp runs)",
+    )
+    p_run.add_argument(
         "--kernels",
         default="auto",
         choices=sorted(set(scenarios.spec.KERNEL_ALIASES)),
@@ -339,7 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--adaptive",
         action="store_true",
         help="enable the spec's adaptive collection cadence "
-        "(supported scenarios only; serial or simcomm)",
+        "(supported scenarios only; any backend)",
     )
     p_run.add_argument("--json", metavar="PATH", help="write the full report as JSON")
     p_run.add_argument(
@@ -387,6 +400,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         choices=sorted(set(scenarios.spec.TRANSPORT_ALIASES)),
         help="multiprocessing row transport (shm = shared_memory)",
+    )
+    p_bench.add_argument(
+        "--pipeline",
+        default="auto",
+        choices=sorted(set(scenarios.spec.PIPELINE_ALIASES)),
+        help="multiprocessing chunk pipelining for the parallel leg "
+        "(see `run --pipeline`)",
     )
     p_bench.add_argument(
         "--kernels",

@@ -39,12 +39,18 @@ from repro.engine.distributed import (
     BACKEND_MULTIPROCESSING,
     BACKEND_SIMCOMM,
     BACKENDS,
+    PIPELINE_ALIASES,
+    PIPELINE_AUTO,
+    PIPELINE_OFF,
+    PIPELINE_ON,
+    PIPELINES,
     DistributedEngine,
     DistributedResult,
     MultiprocessExecutor,
     RankCollector,
     RankExecutor,
     SimCommExecutor,
+    resolve_pipeline,
 )
 from repro.engine.faults import (
     KILL_EXIT_CODE,
@@ -134,6 +140,11 @@ __all__ = [
     "LocalExecutor",
     "LuleshApp",
     "MultiprocessExecutor",
+    "PIPELINES",
+    "PIPELINE_ALIASES",
+    "PIPELINE_AUTO",
+    "PIPELINE_OFF",
+    "PIPELINE_ON",
     "RankCollector",
     "RankExecutor",
     "RecoveryEvent",
@@ -155,6 +166,7 @@ __all__ = [
     "register_adapter",
     "replay_provider",
     "resolve_kernels",
+    "resolve_pipeline",
     "resolve_transport",
     "shared_memory_available",
 ]

@@ -55,9 +55,11 @@ Two execution backends ship behind the :class:`RankExecutor` protocol:
 
 from __future__ import annotations
 
+import gc
 import os
 import pickle
 import sys
+import threading
 import time
 import traceback
 from collections import deque
@@ -114,6 +116,34 @@ BACKEND_SIMCOMM = "simcomm"
 BACKEND_MULTIPROCESSING = "multiprocessing"
 BACKENDS = (BACKEND_SIMCOMM, BACKEND_MULTIPROCESSING)
 
+#: Pipelined chunk execution modes (multiprocessing backend).
+PIPELINE_ON = "on"
+PIPELINE_OFF = "off"
+PIPELINE_AUTO = "auto"
+PIPELINES = (PIPELINE_ON, PIPELINE_OFF)
+PIPELINE_ALIASES = {
+    PIPELINE_AUTO: PIPELINE_AUTO,
+    PIPELINE_ON: PIPELINE_ON,
+    PIPELINE_OFF: PIPELINE_OFF,
+}
+
+
+def resolve_pipeline(name: str) -> str:
+    """Collapse a pipeline knob to a concrete mode (``auto`` -> ``on``).
+
+    Pipelining is a pure latency optimization — results are
+    bit-identical either way — so ``auto`` enables it wherever the
+    multiprocessing backend runs.  ``off`` is kept as an escape hatch
+    (debugging, apples-to-apples benchmarking).
+    """
+    canonical = PIPELINE_ALIASES.get(name)
+    if canonical is None:
+        raise ConfigurationError(
+            f"unknown pipeline mode {name!r}; expected one of "
+            f"{sorted(set(PIPELINE_ALIASES))}"
+        )
+    return PIPELINE_ON if canonical == PIPELINE_AUTO else canonical
+
 #: Back-compat alias: the executor seam now lives in
 #: :mod:`repro.engine.driver` and is shared with the serial engine.
 RankExecutor = Executor
@@ -126,10 +156,16 @@ __all__ = [
     "DistributedResult",
     "GroupPlan",
     "MultiprocessExecutor",
+    "PIPELINES",
+    "PIPELINE_ALIASES",
+    "PIPELINE_AUTO",
+    "PIPELINE_OFF",
+    "PIPELINE_ON",
     "RankCollector",
     "RankExecutor",
     "SimCommExecutor",
     "plan_groups",
+    "resolve_pipeline",
 ]
 
 
@@ -724,6 +760,38 @@ class _WorkerDeath(CommunicatorError):
         self.worker_traceback = worker_traceback
 
 
+class _Speculation:
+    """One speculative chunk in flight: reader-thread state.
+
+    The dedicated reader thread drains each posted worker's reply (and
+    its ring records) into ``payloads`` while rank 0 is off consuming
+    the previous chunk, so workers never stall on a full ring
+    mid-overlap.  The main thread only touches this object after
+    joining the thread, so no field needs a lock.
+    """
+
+    __slots__ = (
+        "thread",
+        "frozen",
+        "posted",
+        "payloads",
+        "deaths",
+        "error",
+        "post_time",
+        "reply_times",
+    )
+
+    def __init__(self, frozen: tuple, posted: List[int]) -> None:
+        self.thread: Optional[threading.Thread] = None
+        self.frozen = frozen
+        self.posted = posted
+        self.payloads: Dict[int, list] = {}
+        self.deaths: List[_WorkerDeath] = []
+        self.error: Optional[BaseException] = None
+        self.post_time = time.perf_counter()
+        self.reply_times: Dict[int, float] = {}
+
+
 class MultiprocessExecutor:
     """Process-pool backend: worker ranks sample shards of replicas.
 
@@ -740,6 +808,29 @@ class MultiprocessExecutor:
     (per-worker ring buffers of binary records, the pipe carries only
     control traffic), ``"pickle"`` (the legacy pickled-payload pipe),
     or ``"auto"`` (shared memory when available, pickle otherwise).
+
+    **Pipelined chunk execution** (``pipeline="auto"|"on"``, the
+    default): immediately after a chunk's rows land in the parent's
+    buffer, the next chunk is speculatively requested with the same
+    frozen active set and a dedicated reader thread drains the replies
+    (and ring records) while rank 0 steps its own app, samples its
+    shard, folds stats and trains — worker stepping of chunk *k+1*
+    overlaps rank-0 compute of chunk *k* instead of alternating with
+    it.  Rings are double-buffered (``ring_capacity_for(...,
+    in_flight=2)``) so the worker writes chunk *k+1* while the parent
+    still holds zero-copy views into chunk *k*.  At the next boundary
+    the speculation is adopted when the needed groups are a subset of
+    the speculated set (chunk freezing only ever over-collects);
+    otherwise — the active set grew between chunks, e.g. an adaptive
+    cadence snap-back — it is discarded and rank 0 resamples that
+    boundary chunk's rows from its live app (the worker replicas are
+    already past those iterations and cannot rewind), which is
+    bit-identical because the replicas are deterministic.  Elastic
+    events fence the pipeline: a death or pending rebalance stops new
+    speculation, the in-flight chunk is consumed under the old layout,
+    the reshard applies at a quiet boundary, and speculation resumes.
+    Results are bit-identical to ``pipeline="off"`` — only the fetch
+    timing changes, never what is consumed.
 
     **Elastic recovery** (``elastic=True``, the default): a worker
     death detected by the poll/liveness path no longer aborts the run.
@@ -772,6 +863,7 @@ class MultiprocessExecutor:
         max_iterations: int,
         chunk: int = 8,
         transport: str = TRANSPORT_AUTO,
+        pipeline: str = PIPELINE_AUTO,
         elastic: bool = True,
         faults: Optional[FaultPlan] = None,
         rebalance: bool = False,
@@ -788,6 +880,8 @@ class MultiprocessExecutor:
         self.max_iterations = max_iterations
         self.chunk = chunk
         self.transport_name = resolve_transport(transport)
+        self.pipeline_name = resolve_pipeline(pipeline)
+        self._pipeline = self.pipeline_name == PIPELINE_ON and n_ranks > 1
         self.kernels = resolve_kernels(kernels)
         self.last_step_seconds = 0.0
         self.elastic = elastic
@@ -829,6 +923,18 @@ class MultiprocessExecutor:
         self._resampled_total = 0
         self._resampled_marked = 0
         self._delay0 = faults.delay_for(0) if faults else None
+        # Pipelining state: at most one speculative chunk in flight,
+        # drained by a reader thread the main thread joins before it
+        # touches the pipes again.
+        self._speculative: Optional[_Speculation] = None
+        self._chunks_speculated = 0
+        self._chunks_discarded = 0
+        self._backfilled_rows = 0
+        # Overlap/idle ledgers (wall-clock instrumentation only).
+        self._rank0_overlap = 0.0
+        self._rank0_idle = 0.0
+        self._worker_overlap = [0.0] * n_workers
+        self._worker_idle = [0.0] * n_workers
 
     def start(self) -> None:
         import multiprocessing
@@ -846,11 +952,20 @@ class MultiprocessExecutor:
         # shard: an elastic reshard can hand any rank up to the whole
         # window, and the ring must already fit it.
         widths = [int(plan.width) for plan in self.plans]
+        # Pipelined rings are double-buffered: the worker writes the
+        # speculative chunk while the parent still holds views into the
+        # previous one, so two worst-case chunks must fit at once while
+        # each individual chunk stays bounded by the single-chunk
+        # budget (preserving overflow detection of sizing bugs).
+        chunk_budget = ring_capacity_for(widths, self.chunk)
+        ring_capacity = ring_capacity_for(
+            widths, self.chunk, in_flight=2 if self._pipeline else 1
+        )
         tasks = []
         for rank in range(1, self.n_ranks):
             ring = None
             if use_shm:
-                ring = ShmRing.create(ring_capacity_for(widths, self.chunk))
+                ring = ShmRing.create(ring_capacity, chunk_budget)
                 self._rings.append(ring)
                 self._ring_names.append(ring.name)
             tasks.append(
@@ -1162,9 +1277,8 @@ class MultiprocessExecutor:
             self._chunks_since_check = 0
             self._maybe_rebalance()
 
-    def _prefetch(self, active: Sequence[int]) -> None:
-        self._pre_chunk_reshard()
-        frozen = tuple(sorted(active))
+    def _post_advance(self, frozen: tuple) -> List[int]:
+        """Post one chunk request to every live worker."""
         posted = []
         for index in range(len(self._conns)):
             if self._worker_dead[index]:
@@ -1176,16 +1290,19 @@ class MultiprocessExecutor:
                 if not self.elastic:
                     raise
                 self._on_worker_death(death)
-        payloads: Dict[int, list] = {}
-        for index in posted:
-            try:
-                payloads[index] = self._receivers[index].decode(
-                    self._recv(index, "rows")
-                )
-            except _WorkerDeath as death:
-                if not self.elastic:
-                    raise
-                self._on_worker_death(death)
+        return posted
+
+    def _ingest_payloads(
+        self, payloads: Dict[int, list], frozen: tuple, adopt: bool = True
+    ) -> None:
+        """Validate decoded chunk payloads and fill the parent buffer.
+
+        With ``adopt=False`` (a discarded speculative chunk) the worker
+        parts are dropped and every buffered entry carries ``None`` in
+        each worker slot, which routes the whole row through rank 0's
+        deterministic-resample backfill in :meth:`advance` — the
+        synchronous fallback for an active-set-drift boundary.
+        """
         if payloads:
             lengths = {len(p) for p in payloads.values()}
             if len(lengths) > 1:
@@ -1206,6 +1323,8 @@ class MultiprocessExecutor:
                             "worker replicas diverged: iterations "
                             f"{sorted({it, entry_iteration})}"
                         )
+                    if not adopt:
+                        continue
                     parts_by_worker[index] = parts
                     for part in parts:
                         if part is not None:
@@ -1214,13 +1333,150 @@ class MultiprocessExecutor:
                             )
                 self._buffer.append((entry_iteration, parts_by_worker))
         self._chunk_active = frozen
+
+    # -- pipelined speculation -----------------------------------------
+
+    def _reader_main(self, state: _Speculation) -> None:
+        """Reader-thread body: drain every posted worker's chunk reply.
+
+        Runs concurrently with rank-0 compute; the main thread does not
+        touch the pipes or receivers until it has joined this thread.
+        Deaths and errors are recorded on ``state`` for the main thread
+        to handle at the next boundary — raising across threads is not
+        a thing.
+        """
+        for index in state.posted:
+            try:
+                reply = self._recv(index, "rows")
+                state.payloads[index] = self._receivers[index].decode(reply)
+            except _WorkerDeath as death:
+                state.deaths.append(death)
+            except BaseException as exc:  # CommunicatorError, desyncs, ...
+                state.error = exc
+                return
+            finally:
+                state.reply_times[index] = time.perf_counter()
+
+    def _post_speculation(self) -> None:
+        """Speculatively request the next chunk behind the buffered one.
+
+        Fenced off when a reshard is pending (death or due rebalance
+        check): the layout must change at a boundary with nothing in
+        flight, so the fence leaves the next boundary synchronous and
+        speculation resumes right after.
+        """
+        if (
+            not self._pipeline
+            or self._speculative is not None
+            or self._reshard_needed
+            or not self._buffer
+            or not self._any_alive()
+        ):
+            return
+        if (
+            self.rebalance_enabled
+            and self._chunks_since_check >= self.rebalance_every
+        ):
+            return
+        frozen = self._chunk_active
+        posted = self._post_advance(frozen)
+        if not posted:
+            return
+        state = _Speculation(frozen, posted)
+        state.thread = threading.Thread(
+            target=self._reader_main,
+            args=(state,),
+            name="repro-chunk-reader",
+            daemon=True,
+        )
+        self._speculative = state
+        self._chunks_speculated += 1
+        state.thread.start()
+
+    def _retire_speculation(self) -> Optional[_Speculation]:
+        """Join the reader thread and surface what it collected.
+
+        Returns the speculation state (payloads decoded, deaths
+        recorded) or ``None`` when nothing was in flight.  Updates the
+        overlap/idle ledgers: the post-to-retire window is rank-0
+        compute that overlapped worker stepping; any wait past the
+        retire point is rank-0 idle (stragglers).
+        """
+        state = self._speculative
+        if state is None:
+            return None
+        self._speculative = None
+        retire_start = time.perf_counter()
+        state.thread.join()
+        joined = time.perf_counter()
+        self._rank0_overlap += retire_start - state.post_time
+        self._rank0_idle += joined - retire_start
+        for index in state.posted:
+            reply = state.reply_times.get(index, joined)
+            self._worker_overlap[index] += max(
+                0.0, min(reply, retire_start) - state.post_time
+            )
+            self._worker_idle[index] += max(0.0, retire_start - reply)
+        if state.error is not None:
+            raise state.error
+        for death in state.deaths:
+            if not self.elastic:
+                raise death
+            self._on_worker_death(death)
+            # The traceback pins the reader-thread frame, whose `state`
+            # local closes a reference cycle back to this exception —
+            # the decoded ring views in state.payloads would then only
+            # die at the next cyclic GC, keeping the shm segments
+            # mapped past close().  Handled: drop it.
+            death.__traceback__ = None
+        return state
+
+    def _prefetch(self, active: Sequence[int]) -> None:
+        frozen = tuple(sorted(active))
+        state = self._retire_speculation()
+        if state is not None:
+            if set(frozen) <= set(state.frozen):
+                # Chunk freezing only ever over-collects: the engine
+                # consumes rows by its per-iteration active set, so a
+                # speculated superset is adopted as-is.
+                self._ingest_payloads(state.payloads, state.frozen)
+            else:
+                # The active set grew between chunks (adaptive cadence
+                # snap-back / re-widening): the speculated chunk lacks
+                # rows for the new groups and the worker replicas are
+                # already past these iterations, so the chunk cannot be
+                # re-collected from them.  Drop the payloads and fall
+                # back to synchronous for this boundary — rank 0
+                # resamples every row from its live app, bit-identical
+                # because the replicas are deterministic.
+                self._chunks_discarded += 1
+                self._ingest_payloads(state.payloads, frozen, adopt=False)
+            self._chunks_since_check += 1
+            self._post_speculation()
+            return
+        self._pre_chunk_reshard()
+        posted = self._post_advance(frozen)
+        payloads: Dict[int, list] = {}
+        wait_start = time.perf_counter()
+        for index in posted:
+            try:
+                payloads[index] = self._receivers[index].decode(
+                    self._recv(index, "rows")
+                )
+            except _WorkerDeath as death:
+                if not self.elastic:
+                    raise
+                self._on_worker_death(death)
+        self._rank0_idle += time.perf_counter() - wait_start
+        self._ingest_payloads(payloads, frozen)
         self._chunks_since_check += 1
+        self._post_speculation()
 
     def advance(
         self, iteration: int, active: Sequence[int]
     ) -> Dict[int, np.ndarray]:
         if self._conns and not self._buffer:
-            if self._any_alive():
+            if self._any_alive() or self._speculative is not None:
                 self._prefetch(active)
             else:
                 # Every worker is gone: rank 0 adopts the whole window
@@ -1284,6 +1540,33 @@ class MultiprocessExecutor:
                         self._rank_stats[rank][g].update(
                             part.reshape(-1, 1)
                         )
+        for g in sorted(consumed):
+            if g in rows or g in chunk_active:
+                continue
+            plan = self.plans[g]
+            if not plan.temporal.matches(iteration):
+                continue
+            # The engine wants a group the chunk was frozen without —
+            # an adaptive cadence re-collecting mid-chunk (probe stride
+            # landing between boundaries, or a snap-back).  The workers
+            # never sampled it, so rank 0 assembles the full row from
+            # its live app; bit-identical, the replicas and shard
+            # layout are deterministic.
+            tick = time.perf_counter()
+            parts = [self._views0[g].sample(domain)]
+            for w in range(len(self._conns)):
+                shard = plan.shards[w + 1]
+                if shard.shape[0]:
+                    parts.append(self._adopt_view(g, w + 1).sample(domain))
+                else:
+                    parts.append(_EMPTY_SHARD)
+            self._rank0_seconds += time.perf_counter() - tick
+            rank0_samples += sum(int(part.shape[0]) for part in parts)
+            self._backfilled_rows += 1
+            rows[g] = np.concatenate(parts)
+            for rank, part in enumerate(parts):
+                if part.size:
+                    self._rank_stats[rank][g].update(part.reshape(-1, 1))
         if self._delay0 is not None and rows:
             tick = time.perf_counter()
             time.sleep(self._delay0.seconds_for(rank0_samples))
@@ -1304,6 +1587,11 @@ class MultiprocessExecutor:
             if self._worker_stats is None:
                 self._worker_stats = []
             return
+        # A mid-chunk stop can leave a speculative chunk in flight;
+        # drain it (the workers have already produced it) and drop the
+        # payloads — its iterations were never consumed, so nothing
+        # leaks into stats.
+        self._retire_speculation()
         stats: List[Optional[dict]] = [None] * len(self._conns)
         for index in range(len(self._conns)):
             if self._worker_dead[index]:
@@ -1349,6 +1637,16 @@ class MultiprocessExecutor:
         pickle time, bytes pushed) with the parent-side receiver
         counters (ring-drain or unpickle time for that worker's rows).
         Rank 0 samples in-process and moves nothing.
+
+        Every per-rank entry also carries the pipeline overlap ledgers:
+        ``overlap_seconds`` — for rank 0, compute time spent while a
+        speculative chunk was in flight (the overlap window); for a
+        worker, time it spent producing a speculative chunk while rank
+        0 was busy — and ``idle_seconds`` — for rank 0, time blocked
+        waiting on worker rows; for a worker, time its finished chunk
+        sat waiting for rank 0.  The ``pipeline`` block summarizes the
+        speculation machinery (chunks speculated/discarded, rows
+        backfilled by rank 0 for mid-chunk cadence growth).
         """
         self._finish_workers()
         per_rank = [
@@ -1357,6 +1655,8 @@ class MultiprocessExecutor:
                 "bytes_moved": 0,
                 "serialize_seconds": 0.0,
                 "transfer_seconds": 0.0,
+                "overlap_seconds": float(self._rank0_overlap),
+                "idle_seconds": float(self._rank0_idle),
             }
         ]
         for index, stats in enumerate(self._worker_stats or []):
@@ -1370,6 +1670,8 @@ class MultiprocessExecutor:
                         "bytes_moved": int(receiver.counters.bytes_moved),
                         "serialize_seconds": 0.0,
                         "transfer_seconds": float(receiver.counters.seconds),
+                        "overlap_seconds": float(self._worker_overlap[index]),
+                        "idle_seconds": float(self._worker_idle[index]),
                         "died": True,
                     }
                 )
@@ -1380,12 +1682,20 @@ class MultiprocessExecutor:
                     "bytes_moved": int(stats["bytes_moved"]),
                     "serialize_seconds": float(stats["serialize_seconds"]),
                     "transfer_seconds": float(receiver.counters.seconds),
+                    "overlap_seconds": float(self._worker_overlap[index]),
+                    "idle_seconds": float(self._worker_idle[index]),
                 }
             )
         return {
             "transport": self.transport_name,
             "per_rank": per_rank,
             "total_bytes_moved": sum(r["bytes_moved"] for r in per_rank),
+            "pipeline": {
+                "enabled": bool(self._pipeline),
+                "chunks_speculated": int(self._chunks_speculated),
+                "chunks_discarded": int(self._chunks_discarded),
+                "backfilled_rows": int(self._backfilled_rows),
+            },
         }
 
     def close(self) -> None:
@@ -1401,20 +1711,43 @@ class MultiprocessExecutor:
         # rings (a mid-chunk stop leaves some); drop them first or the
         # exported buffers would keep the segments from unmapping.
         self._buffer.clear()
+        # A reader thread may still be draining a speculative chunk
+        # (close on a failure path runs with the pipeline live).
+        # Terminate the workers first so the thread's death detection
+        # wakes it, then join it before touching conns or receivers.
+        state = self._speculative
+        self._speculative = None
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        if state is not None and state.thread is not None:
+            state.thread.join(timeout=10.0)
+            # Its decoded payloads are ring views too; recorded death
+            # tracebacks pin the reader frame (and through it the
+            # payload dict) in a cycle only the cyclic GC would break.
+            state.payloads.clear()
+            for death in state.deaths:
+                death.__traceback__ = None
+            state.deaths.clear()
         for conn in self._conns:
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
                 pass
         for process in self._processes:
-            if process.is_alive():
-                process.terminate()
             process.join(timeout=10.0)
             if process.is_alive():  # pragma: no cover - stuck in a syscall
                 process.kill()
                 process.join(timeout=10.0)
         for receiver in self._receivers:
             receiver.close()
+        if self._rings:
+            # Worker-death exceptions travel through frames whose locals
+            # reference decoded ring views; those tracebacks form
+            # reference cycles that only the cyclic GC frees.  Collect
+            # now so every exported buffer is truly gone and the
+            # segments unmap here, not at interpreter exit.
+            gc.collect()
         for ring in self._rings:
             ring.close()
             ring.unlink()
@@ -1501,9 +1834,11 @@ class DistributedEngine:
         of the simulation.  Required by the multiprocessing backend.
     policy, quorum, record_timings, cadence, name:
         As for :class:`~repro.engine.scheduler.InSituEngine`.  Adaptive
-        cadence is supported on the ``simcomm`` backend only: the
-        multiprocessing backend prefetches worker chunks against a
-        frozen active set, which an adaptive stride would invalidate.
+        cadence runs on every backend: the multiprocessing backend
+        freezes the active set per worker chunk (over-collection is
+        harmless), and any group the cadence re-collects mid-chunk is
+        backfilled by rank 0 from its live app — bit-identical, the
+        worker replicas are deterministic.
     chunk:
         Multiprocessing only: iterations per worker round trip.
     transport:
@@ -1513,6 +1848,14 @@ class DistributedEngine:
         pickled-payload pipe), or ``"auto"`` (the default: shared
         memory when the platform supports it, pickle otherwise).  See
         :mod:`repro.engine.transport`.
+    pipeline:
+        Multiprocessing only: speculative chunk pipelining — ``"on"``
+        overlaps worker stepping/sampling of the next chunk with rank
+        0's compute of the current one (see
+        :class:`MultiprocessExecutor`), ``"off"`` restores strictly
+        alternating chunk execution, ``"auto"`` (default) enables it.
+        Results are bit-identical either way; resolved eagerly like
+        the transport.
     kernels:
         Hot-loop backend (``"auto"``/``"numpy"``/``"numba"``, see
         :mod:`repro.core.kernels`), resolved eagerly like the
@@ -1556,6 +1899,7 @@ class DistributedEngine:
         cadence=None,
         chunk: int = 8,
         transport: str = TRANSPORT_AUTO,
+        pipeline: str = PIPELINE_AUTO,
         faults: Union[None, str, "FaultPlan"] = None,
         elastic: bool = True,
         rebalance: bool = False,
@@ -1574,11 +1918,11 @@ class DistributedEngine:
                 "data path; the simcomm backend moves rows in-process and "
                 "takes no transport"
             )
-        if cadence is not None and backend == BACKEND_MULTIPROCESSING:
+        if backend == BACKEND_SIMCOMM and pipeline != PIPELINE_AUTO:
             raise ConfigurationError(
-                "adaptive cadence is not supported on the multiprocessing "
-                "backend (worker chunks prefetch against a frozen active "
-                "set); use the simcomm backend or a serial engine"
+                "pipeline controls the multiprocessing backend's "
+                "speculative chunk execution; the simcomm backend runs "
+                "in-process and takes no pipeline mode"
             )
         self.backend = backend
         self.name = name
@@ -1605,6 +1949,11 @@ class DistributedEngine:
         # so results report the concrete transport, never "auto".
         self.transport = (
             resolve_transport(transport)
+            if backend == BACKEND_MULTIPROCESSING
+            else None
+        )
+        self.pipeline = (
+            resolve_pipeline(pipeline)
             if backend == BACKEND_MULTIPROCESSING
             else None
         )
@@ -1747,6 +2096,7 @@ class DistributedEngine:
             max_iterations=limit,
             chunk=self.chunk,
             transport=self.transport,
+            pipeline=self.pipeline,
             faults=self.faults,
             elastic=self.elastic,
             rebalance=self.rebalance,

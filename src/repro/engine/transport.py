@@ -141,24 +141,36 @@ def resolve_transport(name: str) -> str:
     return canonical
 
 
-def ring_capacity_for(widths: Sequence[int], chunk: int) -> int:
-    """Ring payload bytes needed for one worst-case chunk of records.
+def ring_capacity_for(
+    widths: Sequence[int], chunk: int, in_flight: int = 1
+) -> int:
+    """Ring payload bytes needed for ``in_flight`` worst-case chunks.
 
     Per iteration a worker writes one iteration mark plus, at worst,
     one record per group; the parent drains every chunk completely
-    before requesting the next, so a ring holding one full chunk (plus
+    before requesting another, so a ring holding one full chunk (plus
     wrap-padding slack of two maximal records) can never block the
     writer mid-chunk.
+
+    With pipelined execution the parent holds chunk *k*'s decoded views
+    while the worker is already writing speculative chunk *k+1*, so the
+    ring must hold two chunks at once: pass ``in_flight=2`` and the
+    capacity doubles while each individual chunk is still bounded by
+    the single-chunk budget (see :meth:`ShmRing.create`'s
+    ``chunk_budget``), preserving the wrap/sentinel invariants — no
+    chunk's records can ever reach around into the other chunk's
+    region.
     """
     per_iteration = RECORD_HEADER.size + sum(
         RECORD_HEADER.size + int(width) * 8 for width in widths
     )
     largest = RECORD_HEADER.size + (max(widths) if len(widths) else 0) * 8
-    capacity = chunk * per_iteration + 2 * largest + RECORD_HEADER.size
-    capacity = max(capacity, 4096)
-    return ((capacity + RECORD_HEADER.size - 1) // RECORD_HEADER.size) * (
+    per_chunk = chunk * per_iteration + 2 * largest + RECORD_HEADER.size
+    per_chunk = max(per_chunk, 4096)
+    per_chunk = ((per_chunk + RECORD_HEADER.size - 1) // RECORD_HEADER.size) * (
         RECORD_HEADER.size
     )
+    return max(1, int(in_flight)) * per_chunk
 
 
 def _attach_segment(name: str):
@@ -208,10 +220,15 @@ class ShmRing:
     view.
     """
 
-    def __init__(self, segment, capacity: int, created: bool) -> None:
+    def __init__(
+        self, segment, capacity: int, created: bool, chunk_budget: int = 0
+    ) -> None:
         self._segment = segment
         self._created = created
         self.capacity = int(capacity)
+        # A single chunk may use at most this many bytes; 0 means the
+        # whole capacity (the non-pipelined, single-chunk layout).
+        self.chunk_budget = int(chunk_budget) or int(capacity)
         self._view = segment.buf
         self._write = 0
         self._read = 0
@@ -223,8 +240,15 @@ class ShmRing:
     # -- construction ---------------------------------------------------
 
     @classmethod
-    def create(cls, capacity: int) -> "ShmRing":
-        """Create a fresh segment sized for ``capacity`` payload bytes."""
+    def create(cls, capacity: int, chunk_budget: int = 0) -> "ShmRing":
+        """Create a fresh segment sized for ``capacity`` payload bytes.
+
+        ``chunk_budget`` caps how many bytes any single chunk may
+        occupy (0 = the full capacity).  A double-buffered pipeline
+        ring is created with ``capacity = 2 * chunk_budget`` so two
+        chunks can be in flight while each one individually still
+        trips the sizing-bug overflow check at the single-chunk bound.
+        """
         from multiprocessing import shared_memory
 
         if capacity <= 0 or capacity % RECORD_HEADER.size:
@@ -232,18 +256,23 @@ class ShmRing:
                 f"ring capacity must be a positive multiple of "
                 f"{RECORD_HEADER.size}, got {capacity}"
             )
+        if chunk_budget < 0 or chunk_budget > capacity:
+            raise ConfigurationError(
+                f"ring chunk budget must lie in [0, capacity], got "
+                f"{chunk_budget} with capacity {capacity}"
+            )
         segment = shared_memory.SharedMemory(
             create=True, size=_PAYLOAD_BASE + capacity
         )
-        struct.pack_into("<q", segment.buf, 0, capacity)
-        return cls(segment, capacity, created=True)
+        struct.pack_into("<qq", segment.buf, 0, capacity, chunk_budget)
+        return cls(segment, capacity, created=True, chunk_budget=chunk_budget)
 
     @classmethod
     def attach(cls, name: str) -> "ShmRing":
-        """Attach to a segment created elsewhere (capacity self-describes)."""
+        """Attach to a segment created elsewhere (layout self-describes)."""
         segment = _attach_segment(name)
-        (capacity,) = struct.unpack_from("<q", segment.buf, 0)
-        return cls(segment, capacity, created=False)
+        capacity, chunk_budget = struct.unpack_from("<qq", segment.buf, 0)
+        return cls(segment, capacity, created=False, chunk_budget=chunk_budget)
 
     @property
     def name(self) -> str:
@@ -305,12 +334,12 @@ class ShmRing:
 
     def _check_overflow(self, need: int, already: int) -> None:
         used = self._write - self._chunk_start + already
-        if used + need > self.capacity:
+        if used + need > self.chunk_budget:
             raise CommunicatorError(
                 f"shared-memory ring overflow: chunk needs more than the "
-                f"{self.capacity}-byte capacity; the ring was sized for a "
-                "smaller chunk/window (this is a sizing bug, not a data "
-                "race)"
+                f"{self.chunk_budget}-byte per-chunk budget (capacity "
+                f"{self.capacity}); the ring was sized for a smaller "
+                "chunk/window (this is a sizing bug, not a data race)"
             )
 
     # -- reader side ----------------------------------------------------

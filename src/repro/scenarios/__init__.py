@@ -37,6 +37,7 @@ from repro.scenarios.spec import (
     replay_report,
     resolve_backend,
     resolve_kernels_name,
+    resolve_pipeline_name,
     resolve_transport_name,
     run_scenario,
     specs,
@@ -69,6 +70,7 @@ __all__ = [
     "replay_report",
     "resolve_backend",
     "resolve_kernels_name",
+    "resolve_pipeline_name",
     "resolve_transport_name",
     "run_scenario",
     "specs",

@@ -53,6 +53,8 @@ from repro.engine import (
     BACKENDS,
     KERNEL_ALIASES,
     KERNEL_AUTO,
+    PIPELINE_ALIASES,
+    PIPELINE_AUTO,
     POLICIES,
     TRANSPORT_ALIASES,
     TRANSPORT_AUTO,
@@ -128,6 +130,22 @@ def resolve_transport_name(name: str) -> str:
             f"{sorted(set(TRANSPORT_ALIASES))}"
         )
     return transport
+
+
+def resolve_pipeline_name(name: str) -> str:
+    """Canonical pipeline mode for ``name``.
+
+    Like :func:`resolve_transport_name` this keeps ``"auto"`` intact —
+    the engine collapses it at construction, and the run report carries
+    the resolved concrete mode.
+    """
+    pipeline = PIPELINE_ALIASES.get(name)
+    if pipeline is None:
+        raise ScenarioError(
+            f"unknown pipeline mode {name!r}; expected one of "
+            f"{sorted(set(PIPELINE_ALIASES))}"
+        )
+    return pipeline
 
 
 def resolve_kernels_name(name: str) -> str:
@@ -409,7 +427,15 @@ SCHEMA_VERSION = 2
 #: ``RunConfig``'s fields, so a newly added knob cannot silently
 #: diverge the two legs.
 CROSSCHECK_OVERRIDES = frozenset(
-    {"n_ranks", "backend", "transport", "faults", "rebalance", "crosscheck"}
+    {
+        "n_ranks",
+        "backend",
+        "transport",
+        "pipeline",
+        "faults",
+        "rebalance",
+        "crosscheck",
+    }
 )
 
 #: RunConfig fields the cross-check leg inherits unchanged.
@@ -462,6 +488,7 @@ class RunConfig:
     n_ranks: int = 1
     backend: str = BACKEND_SIMCOMM
     transport: str = TRANSPORT_AUTO
+    pipeline: str = PIPELINE_AUTO
     quick: bool = False
     adaptive: bool = False
     params: Mapping[str, object] = field(default_factory=dict)
@@ -477,6 +504,9 @@ class RunConfig:
         object.__setattr__(self, "backend", resolve_backend(self.backend))
         object.__setattr__(
             self, "transport", resolve_transport_name(self.transport)
+        )
+        object.__setattr__(
+            self, "pipeline", resolve_pipeline_name(self.pipeline)
         )
         object.__setattr__(self, "kernels", resolve_kernels_name(self.kernels))
         object.__setattr__(self, "faults", as_fault_plan(self.faults))
@@ -524,14 +554,14 @@ class RunConfig:
                 "backend='multiprocessing'); serial and simcomm runs move "
                 "no rows between processes"
             )
-        if (
-            self.adaptive
-            and self.n_ranks > 1
-            and self.backend == BACKEND_MULTIPROCESSING
+        if self.pipeline != PIPELINE_AUTO and (
+            self.n_ranks == 1 or self.backend != BACKEND_MULTIPROCESSING
         ):
             raise ScenarioError(
-                "adaptive cadence runs serial or on the simcomm backend; "
-                "the multiprocessing backend prefetches frozen worker chunks"
+                f"pipeline={self.pipeline!r} only applies to "
+                "multiprocessing runs (n_ranks > 1, "
+                "backend='multiprocessing'); serial and simcomm runs have "
+                "no worker chunks to pipeline"
             )
 
     # -- derived views ---------------------------------------------------
@@ -567,6 +597,7 @@ class RunConfig:
             n_ranks=1,
             backend=BACKEND_SIMCOMM,
             transport=TRANSPORT_AUTO,
+            pipeline=PIPELINE_AUTO,
             faults=None,
             rebalance=False,
             crosscheck=False,
@@ -580,6 +611,7 @@ class RunConfig:
             "n_ranks": self.n_ranks,
             "backend": self.backend,
             "transport": self.transport,
+            "pipeline": self.pipeline,
             "quick": self.quick,
             "adaptive": self.adaptive,
             "params": {k: json_safe(v) for k, v in sorted(self.params.items())},
@@ -873,7 +905,9 @@ def _execute_leg(
             app_factory=functools.partial(spec.app_factory, **merged),
             policy=spec.policy,
             quorum=spec.quorum,
+            cadence=spec.cadence_controller() if config.adaptive else None,
             transport=config.transport,
+            pipeline=config.pipeline,
             kernels=config.kernels,
             faults=config.faults,
             rebalance=config.rebalance,

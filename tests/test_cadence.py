@@ -17,7 +17,6 @@ from repro.core.params import IterParam
 from repro.engine import (
     CadenceController,
     CadencePolicy,
-    DistributedEngine,
     InSituEngine,
     ReplayApp,
 )
@@ -122,23 +121,23 @@ class TestAdaptiveGuards:
                 name, config=scenarios.RunConfig(quick=True, adaptive=True)
             )
 
-    def test_multiprocessing_backend_rejects_adaptive(self):
-        with pytest.raises(ScenarioError, match="multiprocessing"):
-            scenarios.run_scenario(
-                "heat-diffusion",
-                config=scenarios.RunConfig(
-                    n_ranks=2, backend="mp", quick=True, adaptive=True
-                ),
-            )
-
-    def test_distributed_engine_rejects_mp_cadence(self):
-        with pytest.raises(ConfigurationError, match="adaptive"):
-            DistributedEngine(
-                backend="multiprocessing",
-                n_ranks=2,
-                app_factory=lambda: None,
-                cadence=CadenceController(),
-            )
+    def test_multiprocessing_backend_runs_adaptive_bit_identical(self):
+        # mp + adaptive used to be rejected: workers freeze the active
+        # set per chunk, so a mid-chunk cadence change (snap-back,
+        # widening, early-stop) left them collecting the wrong rows.
+        # Rank 0 now backfills cadence-driven gaps from its own replica,
+        # so the combination runs and must still match serial exactly.
+        run = scenarios.run_scenario(
+            "heat-diffusion",
+            config=scenarios.RunConfig(
+                n_ranks=2, backend="mp", quick=True, adaptive=True
+            ),
+        )
+        report = run.crosscheck
+        assert report is not None
+        assert report["max_coefficient_delta"] == 0.0
+        assert report["stops_match"] and report["iterations_match"]
+        assert run.ok
 
     def test_spec_cadence_validation(self):
         from tests.test_scenarios import _dummy_spec

@@ -1,0 +1,498 @@
+"""Tests for pipelined chunk execution on the multiprocessing backend.
+
+The acceptance core: with the pipeline ON, results stay bit-identical
+to both the serial engine and the non-pipelined multiprocessing run —
+speculation only ever changes *when* rows are fetched, never what the
+engine consumes.  The hard edges each get a deterministic test: a
+speculative chunk discarded when the active set grows between chunk
+boundaries, a worker killed while a speculative chunk is in flight,
+and reader-thread/shm teardown on failure paths.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.curve_fitting import CurveFitting
+from repro.core.params import IterParam
+from repro.engine import (
+    CadenceController,
+    CadencePolicy,
+    DistributedEngine,
+    InSituEngine,
+    MultiprocessExecutor,
+    ReplayApp,
+    SharedCollector,
+    plan_groups,
+    resolve_pipeline,
+    shared_memory_available,
+)
+from repro.engine.transport import ShmRing, ring_capacity_for
+from repro.errors import (
+    CollectionError,
+    CommunicatorError,
+    ConfigurationError,
+)
+
+TOL = 1e-12
+
+TRANSPORT_CASES = [
+    "pickle",
+    pytest.param(
+        "shared_memory",
+        marks=pytest.mark.skipif(
+            not shared_memory_available(),
+            reason="multiprocessing.shared_memory unavailable",
+        ),
+    ),
+]
+
+
+def _reader_threads():
+    return [
+        t for t in threading.enumerate() if t.name == "repro-chunk-reader"
+    ]
+
+
+def _replay_app(seed=11, n_iterations=120, n_locations=32):
+    rng = np.random.default_rng(seed)
+    history = np.cumsum(
+        rng.standard_normal((n_iterations, n_locations)), axis=0
+    )
+    return ReplayApp(history + 5.0)
+
+
+def _nan_replay_app():
+    history = np.ones((40, 8))
+    history[20, 2] = np.nan
+    return ReplayApp(history)
+
+
+def _replay_analysis(name="fit", n_iterations=120, n_locations=32):
+    return CurveFitting(
+        ReplayApp.provider,
+        IterParam(0, n_locations - 1, 1),
+        IterParam(1, n_iterations, 1),
+        order=3,
+        lag=1,
+        batch_size=16,
+        name=name,
+        terminate_when_trained=True,
+        min_updates=3,
+        monitor_window=3,
+        monitor_patience=1,
+    )
+
+
+def _assert_fits_match(serial_analysis, dist_analysis, atol=TOL):
+    np.testing.assert_allclose(
+        serial_analysis.model.coefficients,
+        dist_analysis.model.coefficients,
+        rtol=0.0,
+        atol=atol,
+    )
+    assert serial_analysis.model.intercept == pytest.approx(
+        dist_analysis.model.intercept, abs=atol
+    )
+
+
+def _regime_history(n_iterations=160, n_locations=8, shift_at=100):
+    t = np.arange(1, n_iterations + 1, dtype=np.float64)[:, None]
+    x = np.arange(n_locations, dtype=np.float64)[None, :]
+    quiet = 5.0 + 2.0 * np.power(0.98, t) * np.cos(0.1 * x)
+    burst = 5.0 + 3.0 * np.sin(0.35 * (t - shift_at)) * (1.0 + 0.1 * x)
+    return np.where(t < shift_at, quiet, burst)
+
+
+def _regime_app():
+    return ReplayApp(_regime_history())
+
+
+# ----------------------------------------------------------------------
+# knob resolution and rejection
+# ----------------------------------------------------------------------
+
+
+class TestPipelineKnob:
+    def test_auto_resolves_on(self):
+        assert resolve_pipeline("auto") == "on"
+        assert resolve_pipeline("on") == "on"
+        assert resolve_pipeline("off") == "off"
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ConfigurationError, match="pipeline"):
+            resolve_pipeline("warp")
+
+    def test_simcomm_rejects_pipeline(self):
+        with pytest.raises(ConfigurationError, match="pipeline"):
+            DistributedEngine(_replay_app(), n_ranks=2, pipeline="on")
+
+    def test_engine_threads_knob_to_executor(self):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_replay_app,
+            pipeline="off",
+        )
+        assert engine.pipeline == "off"
+
+
+# ----------------------------------------------------------------------
+# double-buffered ring sizing
+# ----------------------------------------------------------------------
+
+
+class TestRingSizing:
+    def test_in_flight_multiplies_single_chunk_budget_exactly(self):
+        widths = [32, 7]
+        single = ring_capacity_for(widths, chunk=8)
+        assert ring_capacity_for(widths, chunk=8, in_flight=1) == single
+        assert ring_capacity_for(widths, chunk=8, in_flight=2) == 2 * single
+
+    def test_tiny_chunk_floor_applies_before_doubling(self):
+        # The 4096-byte floor and header-rounding apply to the
+        # per-chunk budget first, so a double-buffered ring is exactly
+        # twice the budget the overflow check enforces.
+        single = ring_capacity_for([1], chunk=1)
+        assert single >= 4096
+        assert ring_capacity_for([1], chunk=1, in_flight=2) == 2 * single
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory"
+    )
+    def test_chunk_budget_survives_attach(self):
+        ring = ShmRing.create(8192, 4096)
+        try:
+            attached = ShmRing.attach(ring.name)
+            assert attached.capacity == 8192
+            assert attached.chunk_budget == 4096
+            attached.close()
+        finally:
+            ring.close()
+            ring.unlink()
+
+    @pytest.mark.skipif(
+        not shared_memory_available(), reason="no shared memory"
+    )
+    def test_overflow_checked_against_chunk_budget_not_capacity(self):
+        # A double-sized ring must still flag a single chunk that
+        # overruns the per-chunk budget — otherwise pipelining would
+        # mask ring-sizing bugs until both chunks collide.
+        budget = ring_capacity_for([4], chunk=1)
+        ring = ShmRing.create(2 * budget, budget)
+        try:
+            ring.begin_chunk()
+            row = np.ones(8, dtype=np.float64)
+            with pytest.raises(CommunicatorError, match="overflow"):
+                for _ in range(2 * budget):
+                    ring.push(1, 0, row)
+        finally:
+            ring.close()
+            ring.unlink()
+
+
+# ----------------------------------------------------------------------
+# bit-identity: pipeline on == pipeline off == serial
+# ----------------------------------------------------------------------
+
+
+class TestPipelinedEquivalence:
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_on_off_and_serial_bit_identical(self, transport):
+        serial_engine = InSituEngine(_replay_app(), policy="all")
+        serial_analysis = serial_engine.add_analysis(_replay_analysis())
+        serial_result = serial_engine.run()
+
+        results = {}
+        analyses = {}
+        for mode in ("on", "off"):
+            engine = DistributedEngine(
+                backend="multiprocessing",
+                n_ranks=2,
+                app_factory=_replay_app,
+                chunk=8,
+                policy="all",
+                transport=transport,
+                pipeline=mode,
+            )
+            analyses[mode] = engine.add_analysis(_replay_analysis())
+            results[mode] = engine.run()
+
+        for mode in ("on", "off"):
+            assert results[mode].stopped_at == serial_result.stopped_at
+            _assert_fits_match(serial_analysis, analyses[mode])
+        stats_on = results["on"].transport_stats
+        stats_off = results["off"].transport_stats
+        assert stats_on["pipeline"]["enabled"] is True
+        assert stats_on["pipeline"]["chunks_speculated"] > 0
+        assert stats_off["pipeline"]["enabled"] is False
+        assert stats_off["pipeline"]["chunks_speculated"] == 0
+
+    def test_overlap_and_idle_seconds_reported_per_rank(self):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=3,
+            app_factory=_replay_app,
+            chunk=8,
+            policy="all",
+            pipeline="on",
+        )
+        engine.add_analysis(_replay_analysis())
+        result = engine.run()
+        stats = result.transport_stats
+        assert [r["rank"] for r in stats["per_rank"]] == [0, 1, 2]
+        for entry in stats["per_rank"]:
+            assert entry["overlap_seconds"] >= 0.0
+            assert entry["idle_seconds"] >= 0.0
+        # Speculation ran, so rank 0 banked compute time that
+        # overlapped worker stepping.
+        assert stats["pipeline"]["chunks_speculated"] > 0
+        assert stats["per_rank"][0]["overlap_seconds"] > 0.0
+
+
+# ----------------------------------------------------------------------
+# speculation discard: the active set grows between chunk boundaries
+# ----------------------------------------------------------------------
+
+N_ITER = 16
+N_LOC = 32
+
+
+def _two_group_app():
+    rng = np.random.default_rng(29)
+    history = np.cumsum(rng.standard_normal((N_ITER, N_LOC)), axis=0)
+    return ReplayApp(history + 3.0)
+
+
+def _two_group_executor(pipeline="on"):
+    """A 2-rank executor over two spatial groups, driven by hand."""
+    app = _two_group_app()
+    shared = SharedCollector()
+    for spatial in (IterParam(0, 15, 1), IterParam(16, N_LOC - 1, 1)):
+        shared.subscribe(
+            CurveFitting(
+                ReplayApp.provider,
+                spatial,
+                IterParam(1, N_ITER, 1),
+                order=2,
+                lag=1,
+                batch_size=8,
+            )
+        )
+    plans = plan_groups(shared, 2)
+    executor = MultiprocessExecutor(
+        app,
+        plans,
+        n_ranks=2,
+        app_factory=_two_group_app,
+        max_iterations=N_ITER,
+        chunk=4,
+        pipeline=pipeline,
+    )
+    return executor, plans, app.history
+
+
+class TestSpeculationDiscard:
+    def test_grown_active_set_discards_and_stays_bit_identical(self):
+        # Chunk 1 is requested with only group 0 active, so the
+        # speculative chunk 2 freezes {0} as well.  Activating group 1
+        # at the chunk-2 boundary makes the needed set a *superset* of
+        # the speculated one — the workers never sampled group 1 and
+        # their replicas are already past those iterations, so the
+        # chunk must be discarded and re-sampled by rank 0.
+        executor, plans, history = _two_group_executor()
+        try:
+            executor.start()
+            rows_seen = {}
+            for iteration in range(1, 13):
+                active = (0,) if iteration in (1, 3, 4) else (0, 1)
+                rows = executor.advance(iteration, active)
+                rows_seen[iteration] = rows
+            assert executor._chunks_discarded == 1
+            # Iteration 2 wanted group 1 mid-chunk (frozen without it):
+            # rank 0 backfilled that row from its live app.
+            assert executor._backfilled_rows >= 1
+            for iteration, rows in rows_seen.items():
+                for g, row in rows.items():
+                    window = plans[g].locations
+                    np.testing.assert_array_equal(
+                        row, history[iteration - 1, window]
+                    )
+            # Speculation resumed after the discarded boundary.
+            assert executor._chunks_speculated >= 2
+        finally:
+            executor.close()
+        assert not _reader_threads()
+
+    def test_shrunk_active_set_adopts_the_speculated_chunk(self):
+        # The other direction of drift — a group going inactive — only
+        # over-collects: the speculated superset is adopted as-is.
+        executor, plans, history = _two_group_executor()
+        try:
+            executor.start()
+            for iteration in range(1, 13):
+                active = (0, 1) if iteration <= 4 else (0,)
+                rows = executor.advance(iteration, active)
+                np.testing.assert_array_equal(
+                    rows[0], history[iteration - 1, plans[0].locations]
+                )
+            assert executor._chunks_discarded == 0
+        finally:
+            executor.close()
+
+
+# ----------------------------------------------------------------------
+# elastic events while a speculative chunk is in flight
+# ----------------------------------------------------------------------
+
+
+class TestElasticInteractions:
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_kill_during_speculation_recovers_bit_identical(
+        self, transport
+    ):
+        # With chunk=8 and the pipeline on, iteration 16 of the
+        # worker's replica is always reached while its chunk is
+        # speculative (the parent consumes iterations 1-8 concurrently)
+        # — the death lands on the reader thread, which must record it
+        # for the main thread to fence, reshard and resume.
+        serial_engine = InSituEngine(_replay_app(), policy="all")
+        serial_analysis = serial_engine.add_analysis(_replay_analysis())
+        serial_result = serial_engine.run()
+
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=3,
+            app_factory=_replay_app,
+            chunk=8,
+            policy="all",
+            transport=transport,
+            pipeline="on",
+            faults="kill:rank=1,iter=16",
+            elastic=True,
+        )
+        analysis = engine.add_analysis(_replay_analysis())
+        result = engine.run()
+        assert result.stopped_at == serial_result.stopped_at
+        _assert_fits_match(serial_analysis, analysis, atol=1e-9)
+        kinds = [event.kind for event in result.recovery_events]
+        assert "rank_death" in kinds and "reshard" in kinds
+        assert result.transport_stats["pipeline"]["chunks_speculated"] > 0
+        assert not _reader_threads()
+
+    def test_non_elastic_death_still_raises(self):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_replay_app,
+            chunk=8,
+            pipeline="on",
+            faults="kill:rank=1,iter=16",
+            elastic=False,
+        )
+        engine.add_analysis(_replay_analysis())
+        with pytest.raises(CommunicatorError, match="worker rank 1 died"):
+            engine.run(max_iterations=120)
+        assert engine.executor._processes == []
+        assert not _reader_threads()
+
+    def test_adaptive_cadence_pipelined_matches_serial(self):
+        # Regime change: converge, widen, drift, snap back — the
+        # snap-back grows the active set against an in-flight
+        # speculative chunk.  Serial and pipelined mp must agree
+        # exactly anyway.
+        def build_analysis():
+            return CurveFitting(
+                ReplayApp.provider,
+                IterParam(0, 7, 1),
+                IterParam(1, 160, 1),
+                axis="time",
+                order=2,
+                lag=1,
+                batch_size=8,
+                min_updates=5,
+                monitor_window=3,
+                monitor_patience=1,
+                name="regime",
+            )
+
+        policy = CadencePolicy(drift_tolerance=0.02, probes_per_level=1)
+        serial_engine = InSituEngine(
+            _regime_app(), cadence=CadenceController(policy)
+        )
+        serial_analysis = serial_engine.add_analysis(build_analysis())
+        serial_result = serial_engine.run()
+        assert serial_result.cadence["totals"]["snapbacks"] >= 1
+
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_regime_app,
+            chunk=8,
+            cadence=CadenceController(policy),
+            pipeline="on",
+        )
+        analysis = engine.add_analysis(build_analysis())
+        result = engine.run()
+        assert (
+            result.cadence["totals"]["snapbacks"]
+            == serial_result.cadence["totals"]["snapbacks"]
+        )
+        _assert_fits_match(serial_analysis, analysis)
+        assert not _reader_threads()
+
+
+# ----------------------------------------------------------------------
+# teardown: no leaked reader threads, processes or shm segments
+# ----------------------------------------------------------------------
+
+
+class TestCleanup:
+    @pytest.mark.parametrize("transport", TRANSPORT_CASES)
+    def test_failure_mid_pipeline_tears_everything_down(self, transport):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_nan_replay_app,
+            chunk=4,
+            transport=transport,
+            pipeline="on",
+        )
+        engine.add_analysis(
+            CurveFitting(
+                ReplayApp.provider,
+                IterParam(0, 7, 1),
+                IterParam(1, 40, 1),
+                order=2,
+                lag=1,
+                batch_size=8,
+                name="nan-window",
+            )
+        )
+        with pytest.raises(CollectionError, match="non-finite"):
+            engine.run()
+        executor = engine.executor
+        assert executor._processes == []
+        assert executor._conns == []
+        assert executor._rings == []
+        assert executor._speculative is None
+        for name in executor._ring_names:
+            with pytest.raises(FileNotFoundError):
+                ShmRing.attach(name)
+        if transport == "shared_memory":
+            assert executor._ring_names
+        assert not _reader_threads()
+
+    def test_clean_run_leaves_no_reader_thread(self):
+        engine = DistributedEngine(
+            backend="multiprocessing",
+            n_ranks=2,
+            app_factory=_replay_app,
+            chunk=8,
+            pipeline="on",
+        )
+        engine.add_analysis(_replay_analysis())
+        engine.run()
+        assert not _reader_threads()
+        assert engine.executor._rings == []

@@ -389,8 +389,12 @@ class TestRunConfig:
             scenarios.RunConfig(faults="kill:rank=1,iter=4")
         with pytest.raises(ScenarioError, match="multiprocessing"):
             scenarios.RunConfig(transport="pickle")
-        with pytest.raises(ScenarioError, match="adaptive"):
-            scenarios.RunConfig(n_ranks=2, backend="mp", adaptive=True)
+        with pytest.raises(ScenarioError, match="multiprocessing"):
+            scenarios.RunConfig(pipeline="on")
+        with pytest.raises(ScenarioError, match="multiprocessing"):
+            scenarios.RunConfig(n_ranks=2, pipeline="off")
+        with pytest.raises(ScenarioError, match="pipeline"):
+            scenarios.RunConfig(n_ranks=2, backend="mp", pipeline="warp")
 
     def test_json_round_trip(self):
         config = scenarios.RunConfig(

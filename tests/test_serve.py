@@ -132,6 +132,9 @@ class TestCacheKey:
         ("transport",
          RunConfig(quick=True, n_ranks=2, backend="mp"),
          RunConfig(quick=True, n_ranks=2, backend="mp", transport="pickle")),
+        ("pipeline",
+         RunConfig(quick=True, n_ranks=2, backend="mp"),
+         RunConfig(quick=True, n_ranks=2, backend="mp", pipeline="off")),
         ("quick", RunConfig(quick=True), RunConfig(quick=False)),
         ("adaptive", RunConfig(quick=True), RunConfig(quick=True, adaptive=True)),
         ("params",
